@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact end-to-end via the
+experiment harness at a reduced (but structure-preserving) scale, asserts
+the paper's qualitative shape on the result, and reports wall time through
+pytest-benchmark.  Experiments are expensive, so each runs exactly once
+(``benchmark.pedantic(rounds=1)``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,15 @@
+"""Benchmark: savings vs adjustment-interval granularity sweep."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_granularity(run_once):
+    result = run_once(
+        run_experiment, "ext_granularity", scale=0.05,
+        iterations=200, population=80,
+    )
+    # Finer control is never worse, and SetFreq counts shrink with the
+    # interval (Fig. 18's trend, as a full curve).
+    assert result.measured["finer_is_better"]
+    assert result.measured["setfreq_monotone_nonincreasing"]
+    assert result.measured["finest_reduction"] > 0.04

@@ -1,0 +1,12 @@
+"""Benchmark: seed robustness of the end-to-end optimization."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_robustness(run_once):
+    result = run_once(
+        run_experiment, "ext_robustness", scale=0.04,
+        iterations=200, population=80, seeds=3,
+    )
+    assert result.measured["all_losses_within_target"]
+    assert result.measured["spread_is_small"]

@@ -1,0 +1,12 @@
+"""Benchmark: Sect. 8.2 uncore-DVFS potential study."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_uncore(run_once):
+    result = run_once(run_experiment, "ext_uncore", scale=0.05)
+    # SoC savings scale with the uncore clock cut...
+    assert result.measured["savings_scale_with_uncore"]
+    # ...and bandwidth-bound decode pays more latency than training.
+    assert result.measured["training_tolerates_better"]
+    assert result.measured["training_soc_cut_at_0p8"] > 0.04

@@ -1,0 +1,15 @@
+"""Benchmark: whole-program DVFS baseline vs operator-level DVFS."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_whole_program(run_once):
+    result = run_once(
+        run_experiment, "ext_whole_program", scale=0.05,
+        iterations=200, population=100,
+    )
+    # Any global frequency cut blows the 2% budget on training, so the
+    # whole-program baseline is stuck at (or next to) the maximum.
+    assert result.measured["best_whole_program_reduction"] < 0.02
+    assert result.measured["fine_grained_wins"]
+    assert result.measured["advantage"] > 0.03

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 9 (voltage-frequency curve)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig09(run_once):
+    result = run_once(run_experiment, "fig09")
+    assert result.measured["flat_below_knee"]
+    assert result.measured["linear_above_knee"]
+    assert result.measured["knee_mhz"] == 1300.0
+    volts = [row["volts"] for row in result.rows]
+    assert volts == sorted(volts)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 10 (temperature vs SoC power lines)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig10(run_once):
+    result = run_once(run_experiment, "fig10", scale=0.4)
+    # Every load traces a straight line (the paper's Fig. 10 shape)...
+    assert result.measured["all_linear"]
+    # ...with a common slope close to the thermal ground truth.
+    assert result.measured["mean_k"] == pytest.approx(
+        result.measured["ground_truth_k"], rel=0.15
+    )
+    assert result.measured["k_spread"] < 0.05

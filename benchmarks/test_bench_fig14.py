@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 14 anchoring-mechanism ablation."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig14(run_once):
+    result = run_once(
+        run_experiment, "fig14", scale=0.06, iterations=200, population=80,
+    )
+    assert result.measured["anchoring_helps"]
+    assert result.measured["anchored_within_target"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 16 (five representative operators)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig16(run_once):
+    result = run_once(run_experiment, "fig16")
+    # Durations span the paper's 20-300 us band (roughly).
+    low, high = result.measured["duration_span_us"].split("-")
+    assert float(low) < 60.0 and float(high) > 150.0
+    # Func. 2 captures the running-time variation closely.
+    assert result.measured["func2_mean_error"] < 0.05
+    assert result.measured["func2_worst_error"] < 0.15

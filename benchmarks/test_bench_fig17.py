@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 17 (GA convergence trajectories)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig17(run_once):
+    result = run_once(
+        run_experiment, "fig17", scale=0.06, iterations=400, population=120,
+    )
+    # Every search plateaus before its budget and runs in ~a second
+    # (paper: within 500 rounds, each search within 2.5 s).
+    assert result.measured["latest_convergence"] <= 400
+    assert result.measured["searches_under_2p5_seconds"]
+    # Scores only improve (elitism) and the search ends feasible.
+    for row in result.rows:
+        assert row["final_best"] >= row["initial_best"]
+        assert row["final_best"] > 2.0  # beats the all-max baseline

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 18 (delayed / coarse DVFS comparisons)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig18(run_once):
+    result = run_once(
+        run_experiment, "fig18", scale=0.12, iterations=250, population=100,
+    )
+    assert result.measured["delay_degrades_efficiency"]
+    assert result.measured["delay_breaks_loss_target"]
+    assert result.measured["delay_worsens_perf"]
+    assert result.measured["coarse_fai_fewer_setfreq"]
+    assert result.measured["coarse_fai_less_savings"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Sect. 4.3 fitting-cost comparison."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_sec43(run_once):
+    result = run_once(run_experiment, "sec43", scale=1.0)
+    # The full ShuffleNetV2Plus population (paper: 4,343 operators).
+    assert result.measured["operators"] == 4343
+    assert result.measured["func2_wins"]
+    # The closed form is at least several times faster than curve_fit.
+    assert result.measured["speedup"] > 3.0

@@ -1,0 +1,11 @@
+"""Benchmark: Sect. 6 operator-sensitivity trade-offs."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_sec6(run_once):
+    result = run_once(run_experiment, "sec6", scale=0.05)
+    # Memory-bound operators give a strictly better power-per-performance
+    # exchange than compute-bound MatMuls (the Sect. 6 motivation).
+    assert result.measured["gelu_exchange_beats_matmul"]
+    assert result.measured["memory_ops_lead_ranking"]

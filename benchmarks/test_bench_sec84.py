@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Sect. 8.4 host-bound inference scenario."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_sec84(run_once):
+    result = run_once(run_experiment, "sec84", scale=0.5)
+    # Dropping everything to 1300 MHz costs little time (idle absorbs it)
+    # but cuts AICore power substantially — the paper's 2.48% / 25% trade.
+    assert result.measured["perf_loss"] < 0.06
+    assert result.measured["aicore_reduction"] > 0.15
+    assert result.measured["baseline_idle_fraction"] > 0.2
+    assert result.measured["loss_far_below_frequency_cut"]

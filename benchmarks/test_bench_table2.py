@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 2 (power-model error buckets)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2(run_once):
+    result = run_once(run_experiment, "table2", scale=0.1)
+    # Paper: average error 4.62%; gamma = 0 ablation degrades to 4.97%.
+    assert result.measured["mean_error"] < 0.07
+    assert result.measured["thermal_term_helps"]
+    fractions = [float(r["fraction"].rstrip("%")) / 100 for r in result.rows[:-1]]
+    assert abs(sum(fractions) - 1.0) < 1e-6
+    # The bulk of predictions land within 10% (paper: >80%).
+    assert sum(fractions[:3]) > 0.8

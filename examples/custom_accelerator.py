@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Generalising to other hardware (the paper's Sect. 8.3).
+
+The performance model rests only on the core/uncore memory-hierarchy
+abstraction, and the power model only on CMOS physics — so the pipeline
+should transfer to any accelerator with that shape.  This example builds a
+GPU-flavoured accelerator (different frequency range, voltage curve,
+bandwidth, power envelope, and a slower 15 ms frequency-control path like
+a V100) and runs the identical optimization pipeline on it.
+
+Usage::
+
+    python examples/custom_accelerator.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EnergyOptimizer, OptimizerConfig
+from repro.dvfs import GaConfig
+from repro.npu import gpu_v100_like_spec, validate_spec
+from repro.workloads import generate
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
+    spec = gpu_v100_like_spec()
+    report = validate_spec(spec)
+    print(f"Custom accelerator: {spec.name} "
+          f"(validator: {'ok' if report.ok else 'ERRORS'}, "
+          f"{len(report.warnings)} warnings)")
+    print(f"  frequencies: {spec.frequencies.points[0]:.0f}-"
+          f"{spec.frequencies.points[-1]:.0f} MHz "
+          f"({spec.frequencies.count} points)")
+    print(f"  uncore bandwidth: {spec.memory.uncore_bandwidth_gbps:.0f} GB/s, "
+          f"Ld/St saturation at {spec.memory.saturation_frequency():.0f} MHz")
+    print(f"  frequency-control latency: "
+          f"{spec.setfreq.total_latency_us / 1000:.0f} ms\n")
+
+    config = OptimizerConfig(
+        npu=spec,
+        performance_loss_target=0.02,
+        # The paper's per-operator data-collection protocol, on this
+        # device's own grid.
+        profile_freqs_mhz=(810.0, 1110.0, 1410.0),
+        ga=GaConfig(
+            population_size=150,
+            iterations=400,
+            prior_lfc_mhz=1185.0,
+            prior_hfc_mhz=1410.0,
+        ),
+    )
+    optimizer = EnergyOptimizer(config)
+    trace = generate("gpt3", scale=scale)
+    print(f"Optimising {trace.name} ({trace.operator_count} operators) on "
+          "the custom device...")
+    report = optimizer.optimize(trace)
+
+    print()
+    print(report.summary())
+    print()
+    print("Sect. 8.3's claim in action: nothing in the pipeline referenced "
+          "Ascend specifics — the same models, classification, and search "
+          "ran unmodified against a different frequency grid, voltage "
+          "curve, memory system, and power envelope.")
+
+
+if __name__ == "__main__":
+    main()

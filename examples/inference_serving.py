@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Host-bound inference under uniform DVFS (the paper's Sect. 8.4).
+
+Llama2 decode steps are dispatched by the host slower than the NPU can
+execute them, so the accelerator idles between operators.  Sweeping a
+uniform frequency cap shows the paper's observation: frequency cuts mostly
+fill idle time, trading a few percent of latency for large AICore power
+reductions.
+
+Usage::
+
+    python examples/inference_serving.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.report import format_table
+from repro.dvfs import DvfsExecutor, constant_strategy
+from repro.npu import NpuDevice, default_npu_spec
+from repro.npu.device import IDLE_INDEX
+from repro.workloads import generate
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    device = NpuDevice(default_npu_spec())
+    executor = DvfsExecutor(device)
+    trace = generate("llama2_inference", scale=scale)
+
+    baseline = device.run_stable(trace)
+    idle_us = sum(
+        c.duration_us for c in baseline.chunks if c.op_index == IDLE_INDEX
+    )
+    print(
+        f"Llama2 decode trace: {trace.operator_count} operators, "
+        f"{idle_us / baseline.duration_us:.0%} NPU idle at 1800 MHz "
+        "(host-bound)\n"
+    )
+
+    rows = []
+    for freq in (1800.0, 1600.0, 1400.0, 1300.0, 1100.0, 1000.0):
+        strategy = constant_strategy(trace.name, freq, baseline.duration_us)
+        outcome = executor.execute_with_baseline(trace, strategy)
+        rows.append(
+            {
+                "freq_mhz": int(freq),
+                "latency_loss": f"{outcome.performance_loss:.2%}",
+                "aicore_reduction": f"{outcome.aicore_power_reduction:.2%}",
+                "soc_reduction": f"{outcome.soc_power_reduction:.2%}",
+                "aicore_w": round(outcome.result.aicore_avg_watts, 1),
+            }
+        )
+
+    print(format_table(rows))
+    print()
+    print("Paper (Sect. 8.4): on real hardware, 1300 MHz cost 2.48% "
+          "performance for a 25.06% AICore / 11.26% SoC power reduction — "
+          "the idle time absorbs most of the frequency cut until the "
+          "operators outgrow the host's dispatch interval.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — analytical performance/power models and fine-grained DVFS.
+
+A full reproduction of "Using Analytical Performance/Power Model and
+Fine-Grained DVFS to Enhance AI Accelerator Energy Efficiency"
+(ASPLOS 2025) on a simulated Ascend-class NPU.
+
+Quickstart::
+
+    from repro import EnergyOptimizer, OptimizerConfig
+    from repro.workloads import generate
+
+    optimizer = EnergyOptimizer(OptimizerConfig(performance_loss_target=0.02))
+    report = optimizer.optimize(generate("bert", scale=0.2))
+    print(report.summary())
+"""
+
+from repro.core import EnergyOptimizer, OptimizationReport, OptimizerConfig
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyOptimizer",
+    "OptimizationReport",
+    "OptimizerConfig",
+    "ReproError",
+    "__version__",
+]

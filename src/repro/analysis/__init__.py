@@ -1,0 +1,48 @@
+"""Generic numerical helpers shared across the library.
+
+This package intentionally contains no accelerator-specific knowledge: it
+provides error metrics, empirical CDFs, small linear-algebra fits, convexity
+checks for sampled functions, fixed-point iteration, and deterministic RNG
+plumbing.
+"""
+
+from repro.analysis.convexity import (
+    is_convex_samples,
+    max_convexity_violation,
+    second_differences,
+)
+from repro.analysis.iteration import FixedPointResult, fixed_point_iterate
+from repro.analysis.linear import (
+    LineFit,
+    fit_line,
+    solve_two_basis,
+    solve_two_point_line,
+)
+from repro.analysis.rng import RngFactory
+from repro.analysis.stats import (
+    ErrorSummary,
+    bucket_fractions,
+    empirical_cdf,
+    mean_absolute_percentage_error,
+    relative_errors,
+    summarize_errors,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "FixedPointResult",
+    "LineFit",
+    "RngFactory",
+    "bucket_fractions",
+    "empirical_cdf",
+    "fit_line",
+    "fixed_point_iterate",
+    "is_convex_samples",
+    "max_convexity_violation",
+    "mean_absolute_percentage_error",
+    "relative_errors",
+    "second_differences",
+    "solve_two_basis",
+    "solve_two_point_line",
+    "summarize_errors",
+]

@@ -1,0 +1,63 @@
+"""Convexity checks for functions sampled on a grid.
+
+Section 4.2.5 of the paper concludes that every operator-cycle function is a
+convex piecewise-linear function of frequency (a composition of ``max()``
+and linear terms).  These helpers verify that property numerically for both
+the closed-form cycle models and the discrete-event timeline simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def second_differences(
+    xs: Sequence[float], ys: Sequence[float]
+) -> np.ndarray:
+    """Discrete analogue of the second derivative on a (possibly uneven) grid.
+
+    For consecutive points ``(x0,y0), (x1,y1), (x2,y2)`` the value is the
+    slope change ``(y2-y1)/(x2-x1) - (y1-y0)/(x1-x0)``; non-negative slope
+    changes everywhere mean the sampled function is convex.
+
+    Raises:
+        ValueError: on fewer than three samples or non-increasing xs.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 3:
+        raise ValueError("second_differences requires at least three samples")
+    if np.any(np.diff(x) <= 0):
+        raise ValueError("xs must be strictly increasing")
+    slopes = np.diff(y) / np.diff(x)
+    return np.diff(slopes)
+
+
+def max_convexity_violation(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Largest negative slope change (0.0 if the samples are convex)."""
+    diffs = second_differences(xs, ys)
+    worst = float(np.min(diffs))
+    return max(0.0, -worst)
+
+
+def is_convex_samples(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Whether the sampled function is convex up to a relative tolerance.
+
+    The tolerance is scaled by the magnitude of the slopes involved so the
+    check is robust to floating-point noise on steep functions.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slopes = np.diff(y) / np.diff(x)
+    scale = max(1.0, float(np.max(np.abs(slopes))))
+    return max_convexity_violation(x, y) <= rel_tol * scale

@@ -1,0 +1,67 @@
+"""Fixed-point iteration with convergence tracking.
+
+Section 5.4.2 resolves the circular dependency between SoC power and the
+temperature rise ``AT`` by iterating ``AT=0 -> P_soc -> AT -> ...`` until
+convergence, observing that it takes no more than four iterations in
+practice.  This module provides that solver in a reusable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a fixed-point iteration."""
+
+    value: float
+    iterations: int
+    residual: float
+
+    @property
+    def converged(self) -> bool:
+        """True when the final residual met the requested tolerance."""
+        return self.iterations >= 1
+
+
+def fixed_point_iterate(
+    func: Callable[[float], float],
+    initial: float = 0.0,
+    tol: float = 1e-6,
+    max_iterations: int = 50,
+) -> FixedPointResult:
+    """Iterate ``x <- func(x)`` until ``|func(x) - x| <= tol``.
+
+    Args:
+        func: the update map; a contraction near the solution.
+        initial: starting value (the paper starts the AT iteration at 0).
+        tol: absolute convergence tolerance on the update step.
+        max_iterations: raise :class:`ConvergenceError` beyond this budget.
+
+    Returns:
+        The converged value, the number of update steps performed, and the
+        final residual.
+
+    Raises:
+        ConvergenceError: if the tolerance is not met within the budget or a
+            non-finite value appears (diverging iteration).
+    """
+    x = float(initial)
+    for iteration in range(1, max_iterations + 1):
+        nxt = float(func(x))
+        if nxt != nxt or nxt in (float("inf"), float("-inf")):
+            raise ConvergenceError(
+                f"fixed-point iteration diverged at step {iteration}: {nxt}"
+            )
+        residual = abs(nxt - x)
+        x = nxt
+        if residual <= tol:
+            return FixedPointResult(value=x, iterations=iteration, residual=residual)
+    raise ConvergenceError(
+        f"fixed-point iteration did not converge within {max_iterations} steps "
+        f"(last residual {residual:.3e}, tol {tol:.3e})"
+    )

@@ -1,0 +1,108 @@
+"""Small linear fits used throughout model calibration.
+
+Two operations recur in the paper's calibration flow:
+
+* least-squares line fits (temperature vs SoC power in Fig. 10, the gamma
+  extraction from cooldown traces in Sect. 5.4.2), and
+* exact two-point solves for two-parameter models (the idle-power
+  ``beta f V^2 + theta V`` split in Sect. 5.3 and the closed-form Func. 2
+  performance fit in Sect. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FittingError
+
+
+@dataclass(frozen=True)
+class LineFit:
+    """Result of a least-squares fit of ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    #: Coefficient of determination; 1.0 means a perfect fit.
+    r_squared: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def fit_line(xs: Sequence[float], ys: Sequence[float]) -> LineFit:
+    """Least-squares straight-line fit.
+
+    Raises:
+        FittingError: on fewer than two points or degenerate (constant) xs.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape:
+        raise FittingError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise FittingError("fit_line requires at least two points")
+    if np.ptp(x) == 0:
+        raise FittingError("fit_line requires at least two distinct x values")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    residuals = y - (slope * x + intercept)
+    total = y - np.mean(y)
+    denom = float(np.dot(total, total))
+    if denom == 0.0:
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - float(np.dot(residuals, residuals)) / denom
+    return LineFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def solve_two_point_line(
+    x1: float, y1: float, x2: float, y2: float
+) -> tuple[float, float]:
+    """Exact ``(slope, intercept)`` of the line through two points.
+
+    Raises:
+        FittingError: if ``x1 == x2``.
+    """
+    if x1 == x2:
+        raise FittingError(f"two-point solve needs distinct x values, got {x1}")
+    slope = (y2 - y1) / (x2 - x1)
+    intercept = y1 - slope * x1
+    return slope, intercept
+
+
+def solve_two_basis(
+    x1: float,
+    y1: float,
+    x2: float,
+    y2: float,
+    basis_a,
+    basis_b,
+) -> tuple[float, float]:
+    """Solve ``y = a * basis_a(x) + b * basis_b(x)`` exactly from two points.
+
+    This generalises the two-point line solve to arbitrary basis functions;
+    it is how Sect. 5.3 extracts ``(beta, theta)`` from idle power at two
+    frequencies (bases ``f V^2`` and ``V``) and how Sect. 4.3's Func. 2
+    ``T(f) = a f + c / f`` is fitted in closed form (bases ``f`` and ``1/f``).
+
+    Raises:
+        FittingError: if the 2x2 system is singular.
+    """
+    matrix = np.array(
+        [
+            [basis_a(x1), basis_b(x1)],
+            [basis_a(x2), basis_b(x2)],
+        ],
+        dtype=float,
+    )
+    rhs = np.array([y1, y2], dtype=float)
+    det = float(np.linalg.det(matrix))
+    if abs(det) < 1e-15:
+        raise FittingError(
+            f"basis system is singular for points x1={x1}, x2={x2}"
+        )
+    a, b = np.linalg.solve(matrix, rhs)
+    return float(a), float(b)

@@ -1,0 +1,126 @@
+"""Error metrics and empirical distribution helpers.
+
+These are the building blocks for the paper's accuracy reporting: the CDF of
+per-operator prediction errors (Fig. 15), the error buckets of Table 2, and
+the headline average-error numbers (1.96% performance, 4.62% power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def relative_errors(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> np.ndarray:
+    """Element-wise absolute relative error ``|pred - actual| / actual``.
+
+    Raises:
+        ValueError: if the inputs differ in length or any actual value is
+            zero (a zero denominator would make the metric meaningless).
+    """
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if pred.shape != act.shape:
+        raise ValueError(
+            f"predicted and actual differ in shape: {pred.shape} vs {act.shape}"
+        )
+    if np.any(act == 0):
+        raise ValueError("actual values must be non-zero for relative error")
+    return np.abs(pred - act) / np.abs(act)
+
+
+def mean_absolute_percentage_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Mean absolute relative error expressed as a fraction (0.0196 = 1.96%)."""
+    errors = relative_errors(predicted, actual)
+    return float(np.mean(errors))
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``.
+
+    Returns:
+        ``(xs, ps)`` where ``ps[i]`` is the fraction of samples ``<= xs[i]``.
+        ``xs`` is sorted ascending.
+    """
+    xs = np.sort(np.asarray(values, dtype=float))
+    if xs.size == 0:
+        raise ValueError("empirical_cdf requires at least one sample")
+    ps = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, ps
+
+
+def bucket_fractions(
+    values: Sequence[float], edges: Sequence[float]
+) -> list[float]:
+    """Fractions of samples falling in ``(edges[i], edges[i+1]]`` buckets.
+
+    The first bucket is ``(-inf, edges[0]]`` is *not* included; instead the
+    buckets are ``(0, edges[0]]``, ``(edges[0], edges[1]]``, ..., and a final
+    ``(edges[-1], +inf)`` bucket, matching Table 2's presentation
+    ``(0, 1%], (1%, 5%], (5%, 10%], (10%, +inf)``.
+    """
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("bucket_fractions requires at least one sample")
+    bounds = [0.0, *edges, np.inf]
+    if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        raise ValueError(f"bucket edges must be strictly increasing: {edges}")
+    fractions = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        in_bucket = np.logical_and(vals > lo, vals <= hi)
+        fractions.append(float(np.mean(in_bucket)))
+    return fractions
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics over a set of absolute relative errors."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    max: float
+    #: Fraction of samples with error <= 5%.
+    within_5pct: float
+    #: Fraction of samples with error <= 10%.
+    within_10pct: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view, convenient for report tables and JSON."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.max,
+            "within_5pct": self.within_5pct,
+            "within_10pct": self.within_10pct,
+        }
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Aggregate a sequence of absolute relative errors into a summary."""
+    errs = np.asarray(errors, dtype=float)
+    if errs.size == 0:
+        raise ValueError("summarize_errors requires at least one sample")
+    if np.any(errs < 0):
+        raise ValueError("errors must be non-negative (use absolute errors)")
+    return ErrorSummary(
+        count=int(errs.size),
+        mean=float(np.mean(errs)),
+        median=float(np.median(errs)),
+        p90=float(np.percentile(errs, 90)),
+        p99=float(np.percentile(errs, 99)),
+        max=float(np.max(errs)),
+        within_5pct=float(np.mean(errs <= 0.05)),
+        within_10pct=float(np.mean(errs <= 0.10)),
+    )

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: end-to-end operator-level DVFS.
+
+``EnergyOptimizer`` runs the Fig. 1 pipeline — profile, model, generate a
+strategy with the genetic algorithm, execute with SetFreq — and reports
+Table-3-style outcomes.
+"""
+
+from repro.core.config import OptimizerConfig
+from repro.core.optimizer import EnergyOptimizer, ModelBundle, ProfilingBundle
+from repro.core.sweep import SweepResult, sweep_loss_targets
+from repro.core.report import (
+    MeasuredMetrics,
+    OptimizationReport,
+    format_table,
+    render_strategy_timeline,
+)
+
+__all__ = [
+    "EnergyOptimizer",
+    "MeasuredMetrics",
+    "ModelBundle",
+    "OptimizationReport",
+    "OptimizerConfig",
+    "ProfilingBundle",
+    "SweepResult",
+    "format_table",
+    "render_strategy_timeline",
+    "sweep_loss_targets",
+]

@@ -1,0 +1,139 @@
+"""Command-line entry point: ``repro-optimize``.
+
+Runs the Fig. 1 pipeline on a named (or saved) workload and prints the
+Table-3-style outcome; optionally saves the generated DVFS strategy and
+loads traces from JSON files.
+
+Examples::
+
+    repro-optimize bert --scale 0.3
+    repro-optimize gpt3 --scale 0.1 --target 0.04 --save-strategy gpt3.json
+    repro-optimize --trace-file mytrace.json --objective soc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import EnergyOptimizer, OptimizerConfig
+from repro.core.report import format_table, render_strategy_timeline
+from repro.dvfs import GaConfig
+from repro.errors import ReproError
+from repro.workloads import generate, load_trace, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize",
+        description=(
+            "Operator-level DVFS energy optimization on the simulated NPU "
+            "(the paper's Fig. 1 pipeline)."
+        ),
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        help=f"workload name ({', '.join(workload_names())})",
+    )
+    parser.add_argument(
+        "--trace-file",
+        help="optimise a trace saved with repro.workloads.save_trace",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.2, help="workload scale (default 0.2)"
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=0.02,
+        help="performance-loss target as a fraction (default 0.02)",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=("aicore", "soc"),
+        default="aicore",
+        help="power rail the search minimises",
+    )
+    parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=5.0,
+        help="frequency adjustment interval in milliseconds (default 5)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=200, help="GA population size"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=600, help="GA iterations"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--save-strategy",
+        metavar="PATH",
+        help="write the generated DVFS strategy to a JSON file",
+    )
+    parser.add_argument(
+        "--inspect",
+        action="store_true",
+        help="print the workload's composition before optimising",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if bool(args.workload) == bool(args.trace_file):
+        parser.error("give exactly one of: a workload name, --trace-file")
+    try:
+        if args.trace_file:
+            trace = load_trace(args.trace_file)
+        else:
+            trace = generate(args.workload, scale=args.scale, seed=args.seed)
+        config = OptimizerConfig(
+            performance_loss_target=args.target,
+            adjustment_interval_us=args.interval_ms * 1000.0,
+            objective=args.objective,
+            ga=GaConfig(
+                population_size=args.population,
+                iterations=args.iterations,
+                seed=args.seed,
+            ),
+            seed=args.seed,
+        )
+        optimizer = EnergyOptimizer(config)
+        if args.inspect:
+            from repro.workloads import summarize_trace
+
+            print(summarize_trace(trace, optimizer.device, seed=args.seed).render())
+            print()
+        print(
+            f"Optimising {trace.name!r} ({trace.operator_count} operators, "
+            f"target {args.target:.1%}, objective {args.objective})..."
+        )
+        report = optimizer.optimize(trace)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print()
+    print(report.summary())
+    print()
+    print(format_table([report.table3_row()]))
+    print()
+    print(render_strategy_timeline(report.strategy))
+    if args.save_strategy:
+        report.strategy.save(args.save_strategy)
+        print(f"\nstrategy written to {args.save_strategy} "
+              f"({report.strategy.setfreq_count} SetFreq per iteration)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

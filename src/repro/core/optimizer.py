@@ -1,0 +1,209 @@
+"""The end-to-end energy optimizer — the Fig. 1 pipeline.
+
+``EnergyOptimizer`` wires every component of the reproduction together:
+
+1. **Profile** the target workload at the reference frequencies with the
+   CANN-style profiler and power telemetry.
+2. **Model** — fit the per-operator performance surrogates (Sect. 4) and
+   power coefficients (Sect. 5) from the profiled data; offline
+   calibration constants are computed once per device and reused.
+3. **Generate** the DVFS strategy: classify bottlenecks, preprocess into
+   LFC/HFC candidate stages, and run the genetic-algorithm search
+   (Sect. 6).
+4. **Execute** the strategy through the SetFreq executor and measure the
+   outcome against the max-frequency baseline (Sect. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rng import RngFactory
+from repro.core.config import OptimizerConfig
+from repro.core.report import MeasuredMetrics, OptimizationReport
+from repro.dvfs.classification import classify_operators
+from repro.dvfs.executor import DvfsExecutor
+from repro.dvfs.ga import GaResult, run_search
+from repro.dvfs.preprocessing import PreprocessResult, preprocess
+from repro.dvfs.scoring import StrategyScorer
+from repro.dvfs.strategy import DvfsStrategy, strategy_from_genes
+from repro.npu.device import NpuDevice
+from repro.npu.profiler import CannStyleProfiler, ProfileReport
+from repro.npu.setfreq import FrequencyTimeline
+from repro.npu.telemetry import PowerTelemetry
+from repro.perf.model import WorkloadPerformanceModel, build_performance_model
+from repro.power.calibration import CalibrationConstants, run_offline_calibration
+from repro.power.optable import OperatorPowerTable, build_operator_power_table
+from repro.workloads.generators import micro
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class ProfilingBundle:
+    """Everything collected while profiling one workload."""
+
+    reports: tuple[ProfileReport, ...]
+    power_readings: dict[float, dict[str, tuple[float, float]]]
+    baseline_report: ProfileReport
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """The fitted models for one workload."""
+
+    performance: WorkloadPerformanceModel
+    power: OperatorPowerTable
+
+
+class EnergyOptimizer:
+    """End-to-end operator-level DVFS optimization for one device."""
+
+    def __init__(self, config: OptimizerConfig | None = None) -> None:
+        self._config = config or OptimizerConfig()
+        self._rng = RngFactory(self._config.seed)
+        self._device = NpuDevice(self._config.npu)
+        self._profiler = CannStyleProfiler(
+            self._config.npu, self._rng.generator("profiler")
+        )
+        self._telemetry = PowerTelemetry(
+            self._config.npu, self._rng.generator("telemetry")
+        )
+        self._executor = DvfsExecutor(self._device)
+        self._calibration: CalibrationConstants | None = None
+
+    @property
+    def config(self) -> OptimizerConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    @property
+    def device(self) -> NpuDevice:
+        """The simulated device being optimised."""
+        return self._device
+
+    @property
+    def executor(self) -> DvfsExecutor:
+        """The SetFreq strategy executor."""
+        return self._executor
+
+    @property
+    def telemetry(self) -> PowerTelemetry:
+        """The power-measurement instrument."""
+        return self._telemetry
+
+    @property
+    def profiler(self) -> CannStyleProfiler:
+        """The CANN-style profiler instrument."""
+        return self._profiler
+
+    def calibrate(self) -> CalibrationConstants:
+        """Run (or reuse) the offline Fig. 11 calibration for this device."""
+        if self._calibration is None:
+            test_load = micro.mixed_calibration_load(repeats=20)
+            k_loads = [
+                micro.matmul_loop(repeats=40),
+                micro.gelu_loop(repeats=40),
+            ]
+            self._calibration = run_offline_calibration(
+                self._device, self._telemetry, test_load, k_loads
+            )
+        return self._calibration
+
+    def use_calibration(self, constants: CalibrationConstants) -> None:
+        """Inject precomputed offline constants (skips recalibration)."""
+        self._calibration = constants
+
+    def profile(self, trace: Trace) -> ProfilingBundle:
+        """Step 1: run the workload at the reference frequencies."""
+        reports = []
+        power_readings: dict[float, dict[str, tuple[float, float]]] = {}
+        baseline_report: ProfileReport | None = None
+        baseline_freq = self._config.npu.max_frequency_mhz
+        profile_freqs = set(self._config.profile_freqs_mhz) | {baseline_freq}
+        for freq in sorted(profile_freqs):
+            result = self._device.run_stable(
+                trace, FrequencyTimeline.constant(freq)
+            )
+            report = self._profiler.profile(result)
+            if freq in self._config.profile_freqs_mhz:
+                reports.append(report)
+                power_readings[freq] = self._telemetry.measure_operator_power(
+                    result
+                )
+            if freq == baseline_freq:
+                baseline_report = report
+        assert baseline_report is not None
+        return ProfilingBundle(
+            reports=tuple(reports),
+            power_readings=power_readings,
+            baseline_report=baseline_report,
+        )
+
+    def build_models(self, bundle: ProfilingBundle) -> ModelBundle:
+        """Step 2: fit the performance and power models."""
+        performance = build_performance_model(
+            list(bundle.reports),
+            function=self._config.fit_function,
+            fit_freqs_mhz=self._config.profile_freqs_mhz,
+        )
+        power = build_operator_power_table(
+            bundle.power_readings, self.calibrate()
+        )
+        return ModelBundle(performance=performance, power=power)
+
+    def preprocess(self, bundle: ProfilingBundle) -> PreprocessResult:
+        """Step 3a: classification and LFC/HFC candidate construction."""
+        classified = classify_operators(bundle.baseline_report.operators)
+        return preprocess(
+            classified,
+            adjustment_interval_us=self._config.adjustment_interval_us,
+        )
+
+    def search(
+        self,
+        trace: Trace,
+        models: ModelBundle,
+        candidates: PreprocessResult,
+    ) -> tuple[DvfsStrategy, StrategyScorer, GaResult]:
+        """Step 3b: GA search over stage frequencies."""
+        freqs = self._config.npu.frequencies.points
+        scorer = StrategyScorer(
+            trace=trace,
+            stages=candidates.stages,
+            perf_model=models.performance,
+            power_table=models.power,
+            freqs_mhz=freqs,
+            performance_loss_target=self._config.performance_loss_target,
+            objective=self._config.objective,
+        )
+        result = run_search(scorer, candidates.stages, freqs, self._config.ga)
+        strategy = strategy_from_genes(
+            workload=trace.name,
+            stages=candidates.stages,
+            genes=result.best_genes,
+            freqs_mhz=freqs,
+            performance_loss_target=self._config.performance_loss_target,
+        )
+        return strategy, scorer, result
+
+    def optimize(self, trace: Trace) -> OptimizationReport:
+        """Run the full Fig. 1 pipeline and measure the outcome."""
+        bundle = self.profile(trace)
+        models = self.build_models(bundle)
+        candidates = self.preprocess(bundle)
+        strategy, scorer, search_result = self.search(
+            trace, models, candidates
+        )
+        outcome = self._executor.execute_with_baseline(trace, strategy)
+        return OptimizationReport(
+            workload=trace.name,
+            performance_loss_target=self._config.performance_loss_target,
+            baseline=MeasuredMetrics.from_result(outcome.baseline),
+            under_dvfs=MeasuredMetrics.from_result(outcome.result),
+            predicted=scorer.breakdown(search_result.best_genes),
+            strategy=strategy,
+            search=search_result,
+            stage_count=len(candidates.stages),
+            operator_count=trace.operator_count,
+        )
+

@@ -1,0 +1,159 @@
+"""Result containers and formatting for end-to-end optimization runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dvfs.ga import GaResult
+from repro.dvfs.scoring import ScoreBreakdown
+from repro.dvfs.strategy import DvfsStrategy
+from repro.units import US_PER_S
+
+
+@dataclass(frozen=True)
+class MeasuredMetrics:
+    """Measured outcome of one execution (a Table 3 cell group)."""
+
+    iteration_seconds: float
+    aicore_watts: float
+    soc_watts: float
+
+    @classmethod
+    def from_result(cls, result) -> "MeasuredMetrics":
+        """Build from an :class:`ExecutionResult`."""
+        return cls(
+            iteration_seconds=result.duration_us / US_PER_S,
+            aicore_watts=result.aicore_avg_watts,
+            soc_watts=result.soc_avg_watts,
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Complete outcome of one Fig. 1 pipeline run."""
+
+    workload: str
+    performance_loss_target: float
+    baseline: MeasuredMetrics
+    under_dvfs: MeasuredMetrics
+    predicted: ScoreBreakdown
+    strategy: DvfsStrategy
+    search: GaResult
+    stage_count: int
+    operator_count: int
+
+    @property
+    def performance_loss(self) -> float:
+        """Measured fractional slowdown under the strategy."""
+        return (
+            self.under_dvfs.iteration_seconds - self.baseline.iteration_seconds
+        ) / self.baseline.iteration_seconds
+
+    @property
+    def aicore_power_reduction(self) -> float:
+        """Measured fractional AICore power reduction."""
+        return 1.0 - self.under_dvfs.aicore_watts / self.baseline.aicore_watts
+
+    @property
+    def soc_power_reduction(self) -> float:
+        """Measured fractional SoC power reduction."""
+        return 1.0 - self.under_dvfs.soc_watts / self.baseline.soc_watts
+
+    @property
+    def setfreq_count(self) -> int:
+        """SetFreq operations the strategy issues per iteration."""
+        return self.strategy.setfreq_count
+
+    def table3_row(self) -> dict[str, float | str]:
+        """The paper's Table 3 row for this run."""
+        return {
+            "model": self.workload,
+            "loss_target": f"{self.performance_loss_target:.0%}",
+            "orig_iter_s": round(self.baseline.iteration_seconds, 4),
+            "dvfs_iter_s": round(self.under_dvfs.iteration_seconds, 4),
+            "perf_loss": f"{self.performance_loss:.2%}",
+            "orig_soc_w": round(self.baseline.soc_watts, 2),
+            "dvfs_soc_w": round(self.under_dvfs.soc_watts, 2),
+            "soc_reduction": f"{self.soc_power_reduction:.2%}",
+            "orig_aicore_w": round(self.baseline.aicore_watts, 2),
+            "dvfs_aicore_w": round(self.under_dvfs.aicore_watts, 2),
+            "aicore_reduction": f"{self.aicore_power_reduction:.2%}",
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.workload}: loss target "
+            f"{self.performance_loss_target:.0%} -> measured perf loss "
+            f"{self.performance_loss:.2%}, AICore power "
+            f"{self.baseline.aicore_watts:.1f} W -> "
+            f"{self.under_dvfs.aicore_watts:.1f} W "
+            f"(-{self.aicore_power_reduction:.2%}), SoC power "
+            f"{self.baseline.soc_watts:.1f} W -> "
+            f"{self.under_dvfs.soc_watts:.1f} W "
+            f"(-{self.soc_power_reduction:.2%}); "
+            f"{self.setfreq_count} SetFreq over {self.stage_count} stages, "
+            f"GA search {self.search.wall_seconds:.2f}s."
+        )
+
+
+def render_strategy_timeline(strategy, width: int = 72) -> str:
+    """ASCII rendering of a DVFS strategy's frequency over the iteration.
+
+    Each column is a slice of the iteration; its glyph encodes the planned
+    frequency (``#`` for the top of the grid down to ``.`` for the
+    bottom), giving a quick visual of where the LFC valleys sit::
+
+        1800 |######..####...#####     |
+    """
+    plans = strategy.plans
+    total = sum(plan.duration_us for plan in plans)
+    if total <= 0 or width < 8:
+        return "(empty strategy)"
+    freqs = sorted({plan.freq_mhz for plan in plans})
+    lo, hi = freqs[0], freqs[-1]
+    glyphs = ".:-=+*%#"
+
+    def glyph(freq: float) -> str:
+        if hi == lo:
+            return "#"
+        level = (freq - lo) / (hi - lo)
+        return glyphs[min(len(glyphs) - 1, int(level * (len(glyphs) - 1)))]
+
+    columns = []
+    for i in range(width):
+        t = (i + 0.5) / width * total
+        elapsed = 0.0
+        current = plans[-1]
+        for plan in plans:
+            if t < elapsed + plan.duration_us:
+                current = plan
+                break
+            elapsed += plan.duration_us
+        columns.append(glyph(current.freq_mhz))
+    header = (
+        f"{hi:.0f} MHz = '#', {lo:.0f} MHz = '.' | "
+        f"{strategy.setfreq_count} SetFreq over "
+        f"{total / 1000.0:.1f} ms"
+    )
+    return header + "\n|" + "".join(columns) + "|"
+
+
+def format_table(rows: list[dict[str, float | str]]) -> str:
+    """Render dict rows as an aligned text table (for CLI output)."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), *(len(str(row.get(h, ""))) for row in rows))
+        for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers)
+        )
+    return "\n".join(lines)

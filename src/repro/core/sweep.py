@@ -1,0 +1,134 @@
+"""Loss-target sweeps: optimise one workload under several budgets.
+
+Table 3's GPT-3 rows and the sweet-spot discussion come from sweeping the
+performance-loss target on a single workload.  Profiling and model fitting
+are target-independent, so a sweep shares them across all targets and only
+repeats the search and execution — the same efficiency the paper's
+production flow has (profile once, regenerate policies cheaply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import OptimizerConfig
+from repro.core.optimizer import EnergyOptimizer
+from repro.core.report import MeasuredMetrics, OptimizationReport
+from repro.dvfs.ga import run_search
+from repro.dvfs.scoring import StrategyScorer
+from repro.dvfs.strategy import strategy_from_genes
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a loss-target sweep on one workload."""
+
+    workload: str
+    reports: tuple[OptimizationReport, ...]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def report_for(self, target: float) -> OptimizationReport:
+        """The report for one swept target.
+
+        Raises:
+            ConfigurationError: if the target was not part of the sweep.
+        """
+        for report in self.reports:
+            if report.performance_loss_target == target:
+                return report
+        raise ConfigurationError(f"target {target} was not swept")
+
+    def savings_are_monotone(self, slack: float = 0.01) -> bool:
+        """Whether AICore savings grow with the target (Table 3's shape)."""
+        reductions = [r.aicore_power_reduction for r in self.reports]
+        return all(
+            b >= a - slack for a, b in zip(reductions, reductions[1:])
+        )
+
+    def knee_target(self) -> float:
+        """The target with the best marginal savings-per-loss trade.
+
+        The paper identifies 2% as the production sweet spot: beyond it,
+        the power-reduction rate slows.  This returns the swept target
+        whose savings/loss ratio is highest.
+        """
+        best = max(
+            self.reports,
+            key=lambda r: (
+                r.aicore_power_reduction / max(r.performance_loss, 1e-9)
+            ),
+        )
+        return best.performance_loss_target
+
+    def rows(self) -> list[dict]:
+        """Table-3-style rows, one per target."""
+        return [report.table3_row() for report in self.reports]
+
+
+def sweep_loss_targets(
+    trace: Trace,
+    targets: Sequence[float],
+    config: OptimizerConfig | None = None,
+    optimizer: EnergyOptimizer | None = None,
+) -> SweepResult:
+    """Optimise ``trace`` once per loss target, sharing profiling/models.
+
+    Args:
+        trace: the workload iteration.
+        targets: loss targets, ascending (e.g. ``(0.02, 0.04, ..., 0.10)``).
+        config: pipeline configuration (its own loss target is ignored).
+        optimizer: optionally a pre-built optimizer (reuses its
+            calibration); otherwise one is constructed from ``config``.
+
+    Raises:
+        ConfigurationError: on an empty or unsorted target list.
+    """
+    if not targets:
+        raise ConfigurationError("sweep needs at least one target")
+    if list(targets) != sorted(targets):
+        raise ConfigurationError(f"targets must be ascending: {targets}")
+    if optimizer is None:
+        optimizer = EnergyOptimizer(config or OptimizerConfig())
+    pipeline_config = optimizer.config
+    bundle = optimizer.profile(trace)
+    models = optimizer.build_models(bundle)
+    candidates = optimizer.preprocess(bundle)
+    freqs = pipeline_config.npu.frequencies.points
+
+    reports = []
+    for target in targets:
+        scorer = StrategyScorer(
+            trace=trace,
+            stages=candidates.stages,
+            perf_model=models.performance,
+            power_table=models.power,
+            freqs_mhz=freqs,
+            performance_loss_target=target,
+            objective=pipeline_config.objective,
+        )
+        search = run_search(
+            scorer, candidates.stages, freqs, pipeline_config.ga
+        )
+        strategy = strategy_from_genes(
+            trace.name, candidates.stages, search.best_genes, freqs, target
+        )
+        outcome = optimizer.executor.execute_with_baseline(trace, strategy)
+        reports.append(
+            OptimizationReport(
+                workload=trace.name,
+                performance_loss_target=target,
+                baseline=MeasuredMetrics.from_result(outcome.baseline),
+                under_dvfs=MeasuredMetrics.from_result(outcome.result),
+                predicted=scorer.breakdown(search.best_genes),
+                strategy=strategy,
+                search=search,
+                stage_count=len(candidates.stages),
+                operator_count=trace.operator_count,
+            )
+        )
+    return SweepResult(workload=trace.name, reports=tuple(reports))

@@ -1,0 +1,134 @@
+"""Operator bottleneck classification (paper Sect. 6.1, Fig. 12, Table 1).
+
+From the profiler's pipeline-utilisation ratios, each operator is routed
+through the Fig. 12 decision flow:
+
+1. **no-pipeline bound** — the sum of all pipe ratios is below 1: free time
+   exists during execution (short operators dominated by pre/post work);
+2. **latency bound** — the maximum ratio is below 0.8: the pipeline
+   arrangement is poor (no PingPong, design flaws);
+3. **uncore bound** — the maximum ratio belongs to an uncore-facing pipe
+   (MTE2 = Ld, MTE3 = St);
+4. **core bound** — the maximum ratio belongs to a core-domain pipe
+   (cube / vector / scalar / MTE1).
+
+AICPU, communication and idle operators never touch the AICore pipelines.
+Table 1 then splits everything by AICore-frequency sensitivity: core-bound
+and latency-bound operators are sensitive; Ld/St-bound, AICPU, idle and
+communication operators are not.  (No-pipeline-bound operators are mostly
+pre/post processing and are treated as insensitive.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.npu.operators import OperatorKind
+from repro.npu.pipelines import Pipe, is_core_pipe
+from repro.npu.profiler import ProfiledOperator
+
+#: Fig. 12's latency-bound threshold on the maximum pipe ratio.
+LATENCY_BOUND_THRESHOLD = 0.8
+
+#: Fig. 12's no-pipeline test is 'sum of ratios < 1'; measured ratios carry
+#: per-block edge effects and profiler noise, so a practical classifier
+#: needs margin below the exact 1.0 to avoid knife-edge flips.
+NO_PIPELINE_THRESHOLD = 0.9
+
+
+class Bottleneck(enum.Enum):
+    """The bottleneck classes of Sect. 6.1."""
+
+    NO_PIPELINE = "no_pipeline"
+    LATENCY = "latency"
+    UNCORE = "uncore"
+    CORE = "core"
+    AICPU = "aicpu"
+    COMMUNICATION = "communication"
+    IDLE = "idle"
+
+
+#: The Table 1 sensitivity split.
+FREQUENCY_SENSITIVE_BOTTLENECKS = frozenset(
+    {Bottleneck.CORE, Bottleneck.LATENCY}
+)
+
+
+@dataclass(frozen=True)
+class ClassifiedOperator:
+    """A profiled operator with its bottleneck class attached."""
+
+    profiled: ProfiledOperator
+    bottleneck: Bottleneck
+    #: The busiest pipe for uncore/core-bound operators, else None.
+    bound_pipe: Pipe | None
+
+    @property
+    def frequency_sensitive(self) -> bool:
+        """Whether the operator reacts to AICore frequency (Table 1)."""
+        return self.bottleneck in FREQUENCY_SENSITIVE_BOTTLENECKS
+
+    @property
+    def label(self) -> str:
+        """A human-readable bound label, e.g. ``"cube-bound"``."""
+        if self.bound_pipe is not None:
+            if self.bottleneck is Bottleneck.UNCORE:
+                side = "Ld" if self.bound_pipe is Pipe.MTE2 else "St"
+                return f"{side}-bound"
+            return f"{self.bound_pipe.value}-bound"
+        return f"{self.bottleneck.value}-bound"
+
+
+_KIND_BOTTLENECK = {
+    OperatorKind.AICPU: Bottleneck.AICPU,
+    OperatorKind.COMMUNICATION: Bottleneck.COMMUNICATION,
+    OperatorKind.IDLE: Bottleneck.IDLE,
+}
+
+
+def classify_operator(
+    profiled: ProfiledOperator,
+    latency_threshold: float = LATENCY_BOUND_THRESHOLD,
+    no_pipeline_threshold: float = NO_PIPELINE_THRESHOLD,
+) -> ClassifiedOperator:
+    """Route one profiled operator through the Fig. 12 decision flow."""
+    if profiled.kind is not OperatorKind.COMPUTE:
+        return ClassifiedOperator(
+            profiled=profiled,
+            bottleneck=_KIND_BOTTLENECK[profiled.kind],
+            bound_pipe=None,
+        )
+    if profiled.ratio_sum() < no_pipeline_threshold:
+        return ClassifiedOperator(
+            profiled=profiled, bottleneck=Bottleneck.NO_PIPELINE, bound_pipe=None
+        )
+    pipe, max_ratio = profiled.max_ratio()
+    if max_ratio < latency_threshold:
+        return ClassifiedOperator(
+            profiled=profiled, bottleneck=Bottleneck.LATENCY, bound_pipe=None
+        )
+    assert pipe is not None
+    bottleneck = Bottleneck.CORE if is_core_pipe(pipe) else Bottleneck.UNCORE
+    return ClassifiedOperator(
+        profiled=profiled, bottleneck=bottleneck, bound_pipe=pipe
+    )
+
+
+def classify_operators(
+    operators: Iterable[ProfiledOperator],
+    latency_threshold: float = LATENCY_BOUND_THRESHOLD,
+) -> list[ClassifiedOperator]:
+    """Classify a full profiled sequence, preserving order."""
+    return [classify_operator(op, latency_threshold) for op in operators]
+
+
+def bottleneck_histogram(
+    classified: Iterable[ClassifiedOperator],
+) -> dict[Bottleneck, int]:
+    """Operator counts per bottleneck class (useful for trace inspection)."""
+    counts: dict[Bottleneck, int] = {}
+    for op in classified:
+        counts[op.bottleneck] = counts.get(op.bottleneck, 0) + 1
+    return counts

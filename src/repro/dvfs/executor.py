@@ -1,0 +1,165 @@
+"""DVFS strategy execution (paper Sect. 7.1, Fig. 14).
+
+The executor turns a strategy into SetFreq dispatches on a dedicated
+stream: for each frequency change at time ``s_i``, the SetFreq is
+dispatched one latency *ahead* (at ``s_i - latency``), so the new frequency
+takes effect exactly at the intended point.  Event record/wait
+synchronisation between the compute and SetFreq streams is what makes this
+precise on real hardware; the simulator gets the same effect from the
+latency arithmetic.
+
+When the hardware's control latency exceeds the planning latency — the
+Fig. 18 experiment adds 14 ms to mimic an NVIDIA V100 — frequencies take
+effect late: LFC operators burn power at high frequency and HFC operators
+run slow at low frequency, eroding both savings and performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dvfs.strategy import DvfsStrategy
+from repro.errors import StrategyError
+from repro.npu.device import ExecutionResult, NpuDevice
+from repro.npu.setfreq import (
+    AnchoredFrequencyPlan,
+    AnchoredSwitch,
+    FrequencyTimeline,
+    SetFreqCommand,
+)
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """A strategy's measured outcome next to its baseline."""
+
+    strategy: DvfsStrategy
+    result: ExecutionResult
+    baseline: ExecutionResult
+
+    @property
+    def performance_loss(self) -> float:
+        """Fractional iteration-time increase versus the baseline."""
+        return (
+            self.result.duration_us - self.baseline.duration_us
+        ) / self.baseline.duration_us
+
+    @property
+    def aicore_power_reduction(self) -> float:
+        """Fractional AICore average-power reduction versus the baseline."""
+        return 1.0 - self.result.aicore_avg_watts / self.baseline.aicore_avg_watts
+
+    @property
+    def soc_power_reduction(self) -> float:
+        """Fractional SoC average-power reduction versus the baseline."""
+        return 1.0 - self.result.soc_avg_watts / self.baseline.soc_avg_watts
+
+
+class DvfsExecutor:
+    """Compiles strategies to SetFreq dispatches and runs them."""
+
+    def __init__(self, device: NpuDevice) -> None:
+        self._device = device
+
+    @property
+    def device(self) -> NpuDevice:
+        """The device strategies execute on."""
+        return self._device
+
+    def compile(self, strategy: DvfsStrategy) -> AnchoredFrequencyPlan:
+        """Build the operator-anchored frequency plan for this device.
+
+        Each change point anchors to its stage's first operator: SetFreq is
+        dispatched one latency ahead on the side stream, and Event
+        Record/Wait synchronisation makes the change effective exactly when
+        the anchor operator starts (Fig. 14).  Any *extra* hardware delay
+        beyond the documented latency (``SetFreqSpec.extra_delay_us``) is
+        invisible to the planner, so the change lands late — exactly the
+        V100 comparison of Fig. 18.
+        """
+        grid = self._device.npu.frequencies
+        anchors = []
+        for op_index, freq in strategy.anchored_switches():
+            grid.validate(freq)
+            anchors.append(AnchoredSwitch(op_index=op_index, freq_mhz=freq))
+        grid.validate(strategy.initial_freq_mhz)
+        return AnchoredFrequencyPlan(
+            initial_mhz=strategy.initial_freq_mhz,
+            anchors=tuple(anchors),
+            extra_delay_us=self._device.npu.setfreq.extra_delay_us,
+        )
+
+    def compile_wall_clock(self, strategy: DvfsStrategy) -> FrequencyTimeline:
+        """Build the naive wall-clock timeline (no operator anchoring).
+
+        Provided for comparison: without event synchronisation, switches
+        fire at the *planned* (baseline) times, which drift away from the
+        shifted execution — an ablation of the Fig. 14 mechanism.
+        """
+        setfreq = self._device.npu.setfreq
+        commands = [
+            SetFreqCommand(
+                dispatch_time_us=max(0.0, time_us - setfreq.latency_us),
+                target_mhz=freq,
+            )
+            for time_us, freq in strategy.switches()
+        ]
+        return FrequencyTimeline.from_commands(
+            initial_mhz=strategy.initial_freq_mhz,
+            commands=commands,
+            setfreq=setfreq,
+            grid=self._device.npu.frequencies,
+        )
+
+    def validate(self, trace: Trace, strategy: DvfsStrategy) -> None:
+        """Check that a strategy is executable against a trace.
+
+        Strategies are keyed to operator indices; applying one generated
+        for a different (or truncated) trace would silently skip switches.
+
+        Raises:
+            StrategyError: on anchor indices outside the trace, or a
+                workload-name mismatch.
+        """
+        if strategy.workload != trace.name:
+            raise StrategyError(
+                f"strategy was generated for workload "
+                f"{strategy.workload!r}, not {trace.name!r}"
+            )
+        for op_index, _ in strategy.anchored_switches():
+            if op_index >= trace.operator_count:
+                raise StrategyError(
+                    f"strategy anchors operator index {op_index} but the "
+                    f"trace has only {trace.operator_count} operators"
+                )
+
+    def execute(
+        self, trace: Trace, strategy: DvfsStrategy, stable: bool = True
+    ) -> ExecutionResult:
+        """Run one iteration under the compiled strategy.
+
+        Raises:
+            StrategyError: if the strategy does not fit the trace.
+        """
+        self.validate(trace, strategy)
+        timeline = self.compile(strategy)
+        if stable:
+            return self._device.run_stable(trace, timeline)
+        return self._device.run(trace, timeline)
+
+    def execute_with_baseline(
+        self, trace: Trace, strategy: DvfsStrategy, stable: bool = True
+    ) -> ExecutionOutcome:
+        """Run the strategy and the max-frequency baseline, and compare."""
+        baseline_timeline = FrequencyTimeline.constant(
+            self._device.npu.max_frequency_mhz
+        )
+        if stable:
+            baseline = self._device.run_stable(trace, baseline_timeline)
+        else:
+            baseline = self._device.run(trace, baseline_timeline)
+        result = self.execute(trace, strategy, stable=stable)
+        return ExecutionOutcome(
+            strategy=strategy, result=result, baseline=baseline
+        )

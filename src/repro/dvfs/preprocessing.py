@@ -1,0 +1,268 @@
+"""Frequency-candidate preprocessing (paper Sect. 6.2, Fig. 13).
+
+A brute-force search over per-operator frequencies is impractical for
+traces with tens of thousands of operators.  Preprocessing shrinks the
+space in four steps:
+
+1. take the execution sequence and profiling data (large inter-operator
+   gaps count as idle time);
+2. classify each operator's bottleneck (Sect. 6.1);
+3. split the execution into Low/High Frequency Candidate (LFC/HFC) stages
+   by frequency sensitivity — each stage start is a candidate point;
+4. merge candidates whose stage is shorter than the frequency adjustment
+   interval (e.g. 5 ms) into their neighbours.
+
+The result is the candidate list ``{s_1..s_n}`` with durations
+``{d_1..d_n}`` that the genetic algorithm assigns frequencies to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dvfs.classification import ClassifiedOperator
+from repro.errors import StrategyError
+from repro.units import ms_to_us
+
+#: Default frequency adjustment interval (the paper uses 5 ms).
+DEFAULT_ADJUSTMENT_INTERVAL_US = ms_to_us(5.0)
+
+#: Gaps at least this long are treated as idle spans in step 1.
+SIGNIFICANT_GAP_US = 50.0
+
+
+class StageKind(enum.Enum):
+    """Whether a stage prefers a low or high frequency."""
+
+    LFC = "lfc"
+    HFC = "hfc"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One frequency-candidate stage.
+
+    Attributes:
+        index: position in the final candidate list.
+        kind: LFC (insensitive operators dominate) or HFC.
+        start_us: candidate point ``s_i`` — where the stage begins on the
+            baseline timeline.
+        duration_us: stage duration ``d_i`` on the baseline timeline.
+        op_indices: trace-entry indices of the operators in the stage.
+        sensitive_time_us: baseline time spent in frequency-sensitive
+            operators within the stage (after merging, stages can mix).
+    """
+
+    index: int
+    kind: StageKind
+    start_us: float
+    duration_us: float
+    op_indices: tuple[int, ...]
+    sensitive_time_us: float
+
+    @property
+    def end_us(self) -> float:
+        """Stage end on the baseline timeline."""
+        return self.start_us + self.duration_us
+
+    @property
+    def sensitive_fraction(self) -> float:
+        """Fraction of the stage's time that is frequency sensitive."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.sensitive_time_us / self.duration_us
+
+
+@dataclass(frozen=True)
+class PreprocessResult:
+    """Output of the Fig. 13 pipeline."""
+
+    stages: tuple[Stage, ...]
+    adjustment_interval_us: float
+    #: Stage count before interval merging (step 3's raw candidates).
+    raw_stage_count: int
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def stage_of_op(self, op_index: int) -> Stage:
+        """The stage containing a trace-entry index.
+
+        Raises:
+            StrategyError: if the index is in no stage.
+        """
+        for stage in self.stages:
+            if op_index in stage.op_indices:
+                return stage
+        raise StrategyError(f"operator index {op_index} is in no stage")
+
+
+@dataclass
+class _MutableStage:
+    kind: StageKind
+    start_us: float
+    end_us: float
+    op_indices: list[int]
+    sensitive_time_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+def _raw_stages(
+    classified: Sequence[ClassifiedOperator],
+    significant_gap_us: float,
+) -> list[_MutableStage]:
+    """Steps 1-3: split the classified sequence into LFC/HFC runs.
+
+    Stage boundaries come from the profiled start/end timestamps, so small
+    inter-operator gaps stay inside the surrounding stage while significant
+    gaps become (or extend) LFC idle spans.
+    """
+    stages: list[_MutableStage] = []
+    for op in classified:
+        profiled = op.profiled
+        sensitive = op.frequency_sensitive
+        kind = StageKind.HFC if sensitive else StageKind.LFC
+        op_end = profiled.start_us + profiled.duration_us
+        # Step 1: a significant dispatch gap counts as idle (LFC) time.
+        if profiled.gap_before_us >= significant_gap_us:
+            if stages and stages[-1].kind is StageKind.LFC:
+                stages[-1].end_us = profiled.start_us
+            else:
+                stages.append(
+                    _MutableStage(
+                        kind=StageKind.LFC,
+                        start_us=stages[-1].end_us if stages else 0.0,
+                        end_us=profiled.start_us,
+                        op_indices=[],
+                        sensitive_time_us=0.0,
+                    )
+                )
+        if stages and stages[-1].kind is kind:
+            stage = stages[-1]
+            stage.end_us = op_end
+            stage.op_indices.append(profiled.index)
+            stage.sensitive_time_us += profiled.duration_us if sensitive else 0.0
+        else:
+            stages.append(
+                _MutableStage(
+                    kind=kind,
+                    start_us=stages[-1].end_us if stages else 0.0,
+                    end_us=op_end,
+                    op_indices=[profiled.index],
+                    sensitive_time_us=profiled.duration_us if sensitive else 0.0,
+                )
+            )
+    return stages
+
+
+def _coalesce_same_kind(stages: list[_MutableStage]) -> list[_MutableStage]:
+    """Fuse adjacent stages of the same kind into one candidate."""
+    result: list[_MutableStage] = []
+    for stage in stages:
+        if result and result[-1].kind is stage.kind:
+            previous = result[-1]
+            previous.end_us = stage.end_us
+            previous.op_indices = previous.op_indices + stage.op_indices
+            previous.sensitive_time_us += stage.sensitive_time_us
+        else:
+            result.append(stage)
+    return result
+
+
+def _merge_short_stages(
+    stages: list[_MutableStage], interval_us: float
+) -> list[_MutableStage]:
+    """Step 4: merge candidates shorter than the adjustment interval.
+
+    Raw LFC/HFC runs are greedily accumulated into groups of at least the
+    adjustment interval (a trailing under-interval group joins its
+    predecessor).  Each group becomes one frequency candidate whose kind is
+    the time-dominant kind of its members; its operators and sensitive
+    time carry over, so the scorer still knows the group's exact
+    composition — merged groups are *mixed*, and the search prices the
+    sensitive share of each group through the per-operator models.
+    """
+    merged = _coalesce_same_kind(list(stages))
+    groups: list[_MutableStage] = []
+    current: _MutableStage | None = None
+    current_kind_time: dict[StageKind, float] = {}
+
+    def finalise(group: _MutableStage, kind_time: dict[StageKind, float]):
+        group.kind = max(kind_time, key=lambda kind: kind_time[kind])
+        groups.append(group)
+
+    for stage in merged:
+        if current is None:
+            current = _MutableStage(
+                kind=stage.kind,
+                start_us=stage.start_us,
+                end_us=stage.end_us,
+                op_indices=list(stage.op_indices),
+                sensitive_time_us=stage.sensitive_time_us,
+            )
+            current_kind_time = {stage.kind: stage.duration_us}
+        else:
+            current.end_us = stage.end_us
+            current.op_indices += stage.op_indices
+            current.sensitive_time_us += stage.sensitive_time_us
+            current_kind_time[stage.kind] = (
+                current_kind_time.get(stage.kind, 0.0) + stage.duration_us
+            )
+        if current.duration_us >= interval_us:
+            finalise(current, current_kind_time)
+            current = None
+    if current is not None:
+        if groups:
+            last = groups[-1]
+            last.end_us = current.end_us
+            last.op_indices += current.op_indices
+            last.sensitive_time_us += current.sensitive_time_us
+        else:
+            finalise(current, current_kind_time)
+    # Adjacent same-kind groups stay separate: each is at least one
+    # adjustment interval long, so giving them independent frequencies
+    # still respects the SetFreq spacing constraint, and mixed groups of
+    # different composition deserve independent genes.
+    return groups
+
+
+def preprocess(
+    classified: Sequence[ClassifiedOperator],
+    adjustment_interval_us: float = DEFAULT_ADJUSTMENT_INTERVAL_US,
+    significant_gap_us: float = SIGNIFICANT_GAP_US,
+) -> PreprocessResult:
+    """Run the full Fig. 13 pipeline on a classified operator sequence.
+
+    Raises:
+        StrategyError: on an empty sequence or non-positive interval.
+    """
+    if not classified:
+        raise StrategyError("cannot preprocess an empty operator sequence")
+    if adjustment_interval_us <= 0:
+        raise StrategyError(
+            f"adjustment interval must be positive: {adjustment_interval_us}"
+        )
+    raw = _raw_stages(classified, significant_gap_us)
+    raw_count = len(raw)
+    merged = _merge_short_stages(raw, adjustment_interval_us)
+    stages = tuple(
+        Stage(
+            index=i,
+            kind=stage.kind,
+            start_us=stage.start_us,
+            duration_us=stage.duration_us,
+            op_indices=tuple(sorted(stage.op_indices)),
+            sensitive_time_us=stage.sensitive_time_us,
+        )
+        for i, stage in enumerate(merged)
+    )
+    return PreprocessResult(
+        stages=stages,
+        adjustment_interval_us=adjustment_interval_us,
+        raw_stage_count=raw_count,
+    )

@@ -1,0 +1,145 @@
+"""Per-operator frequency-sensitivity analysis (paper Sect. 6 intro).
+
+The paper motivates operator-level DVFS with per-operator trade-offs:
+a compute-bound MatMul sacrifices 6.9% performance for a 7.9% power gain,
+while a memory-bound Gelu trades ~2% performance for a 5%-or-greater power
+gain.  This module computes those trade curves for any operator from its
+*fitted* models — the same artefacts the strategy search uses — so users
+can inspect why the GA treats operators differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CalibrationError, FittingError
+from repro.perf.model import WorkloadPerformanceModel
+from repro.power.optable import OperatorPowerTable
+
+
+@dataclass(frozen=True)
+class TradePoint:
+    """One operator's predicted trade at one frequency."""
+
+    freq_mhz: float
+    #: Fractional slowdown versus the maximum frequency.
+    performance_loss: float
+    #: Fractional AICore power reduction versus the maximum frequency.
+    power_gain: float
+
+    @property
+    def exchange_rate(self) -> float:
+        """Power gained per unit performance lost (higher is better).
+
+        Infinity for operators that gain power at no measurable cost.
+        """
+        if self.performance_loss <= 0:
+            return float("inf")
+        return self.power_gain / self.performance_loss
+
+
+@dataclass(frozen=True)
+class OperatorTradeCurve:
+    """An operator's full frequency-trade curve."""
+
+    name: str
+    op_type: str
+    points: tuple[TradePoint, ...]
+
+    def at(self, freq_mhz: float) -> TradePoint:
+        """The trade point at a specific frequency.
+
+        Raises:
+            FittingError: if the frequency was not evaluated.
+        """
+        for point in self.points:
+            if point.freq_mhz == freq_mhz:
+                return point
+        raise FittingError(
+            f"frequency {freq_mhz} not evaluated for {self.name!r}"
+        )
+
+    def best_exchange(self, max_loss: float = 0.05) -> TradePoint | None:
+        """The point with the best power-per-performance exchange under a
+        loss cap (None if no point satisfies the cap)."""
+        candidates = [
+            p
+            for p in self.points
+            if p.performance_loss <= max_loss and p.freq_mhz != self.points[-1].freq_mhz
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: p.exchange_rate)
+
+
+def operator_trade_curve(
+    name: str,
+    perf_model: WorkloadPerformanceModel,
+    power_table: OperatorPowerTable,
+    freqs_mhz: Sequence[float],
+) -> OperatorTradeCurve:
+    """Compute an operator's trade curve from its fitted models.
+
+    Args:
+        name: operator name present in both models.
+        perf_model: fitted duration predictors.
+        power_table: fitted power coefficients.
+        freqs_mhz: ascending frequency grid; the last entry is the
+            baseline.
+
+    Raises:
+        FittingError / CalibrationError: if the operator is unknown.
+    """
+    if not freqs_mhz:
+        raise FittingError("empty frequency grid")
+    op_model = perf_model.operators.get(name)
+    if op_model is None:
+        raise FittingError(f"no performance model for operator {name!r}")
+    power_table.entry(name)  # raises CalibrationError if unknown
+    baseline_freq = freqs_mhz[-1]
+    base_time = op_model.predict_time_us(baseline_freq)
+    power_matrix = power_table.aicore_power_matrix([name], freqs_mhz)[0]
+    base_power = power_matrix[-1]
+    points = []
+    for i, freq in enumerate(freqs_mhz):
+        time = op_model.predict_time_us(freq)
+        points.append(
+            TradePoint(
+                freq_mhz=float(freq),
+                performance_loss=time / base_time - 1.0,
+                power_gain=1.0 - power_matrix[i] / base_power,
+            )
+        )
+    return OperatorTradeCurve(
+        name=name, op_type=op_model.op_type, points=tuple(points)
+    )
+
+
+def rank_by_exchange_rate(
+    perf_model: WorkloadPerformanceModel,
+    power_table: OperatorPowerTable,
+    freqs_mhz: Sequence[float],
+    names: Sequence[str] | None = None,
+    max_loss: float = 0.05,
+) -> list[tuple[str, TradePoint]]:
+    """Rank operators by their best power/performance exchange.
+
+    The best candidates for frequency reduction come first — the ranking
+    the LFC/HFC split approximates categorically.
+    """
+    if names is None:
+        names = list(perf_model.operators)
+    ranked: list[tuple[str, TradePoint]] = []
+    for name in names:
+        try:
+            curve = operator_trade_curve(
+                name, perf_model, power_table, freqs_mhz
+            )
+        except (FittingError, CalibrationError):
+            continue
+        best = curve.best_exchange(max_loss)
+        if best is not None:
+            ranked.append((name, best))
+    ranked.sort(key=lambda item: item[1].exchange_rate, reverse=True)
+    return ranked

@@ -1,0 +1,228 @@
+"""DVFS strategies: the deployable output of the search.
+
+A :class:`DvfsStrategy` maps the preprocessed stages to target frequencies.
+Consecutive stages with the same frequency are collapsed, so the strategy's
+``switches`` are exactly the SetFreq operations the executor must issue —
+their count is the paper's 'the generated policy triggers 821 SetFreq'
+metric.  Strategies serialise to JSON for reuse across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.dvfs.preprocessing import Stage, StageKind
+from repro.errors import StrategyError
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One stage with its assigned frequency.
+
+    ``anchor_op_index`` is the trace index of the stage's first operator;
+    the executor anchors the SetFreq trigger to it (Fig. 14).  Idle-only
+    stages have no anchor.
+    """
+
+    start_us: float
+    duration_us: float
+    freq_mhz: float
+    kind: StageKind
+    anchor_op_index: int | None = None
+
+
+@dataclass(frozen=True)
+class DvfsStrategy:
+    """A complete frequency plan for one workload iteration."""
+
+    workload: str
+    performance_loss_target: float
+    plans: tuple[StagePlan, ...]
+
+    def __post_init__(self) -> None:
+        if not self.plans:
+            raise StrategyError("a strategy needs at least one stage plan")
+        starts = [plan.start_us for plan in self.plans]
+        if starts != sorted(starts):
+            raise StrategyError("stage plans must be sorted by start time")
+
+    @property
+    def initial_freq_mhz(self) -> float:
+        """Frequency in effect when the iteration starts."""
+        return self.plans[0].freq_mhz
+
+    def switches(self) -> list[tuple[float, float]]:
+        """``(time_us, freq_mhz)`` change points, same-frequency collapsed.
+
+        The length of this list is the SetFreq count per iteration.
+        """
+        result: list[tuple[float, float]] = []
+        current = self.plans[0].freq_mhz
+        for plan in self.plans[1:]:
+            if plan.freq_mhz != current:
+                result.append((plan.start_us, plan.freq_mhz))
+                current = plan.freq_mhz
+        return result
+
+    def anchored_switches(self) -> list[tuple[int, float]]:
+        """``(anchor_op_index, freq_mhz)`` change points for the executor.
+
+        Same-frequency runs are collapsed; a change point in an idle-only
+        stage anchors to the next stage that has operators.
+        """
+        result: list[tuple[int, float]] = []
+        current = self.plans[0].freq_mhz
+        pending_freq: float | None = None
+        for plan in self.plans[1:]:
+            if plan.freq_mhz != current:
+                pending_freq = plan.freq_mhz
+                current = plan.freq_mhz
+            if pending_freq is not None and plan.anchor_op_index is not None:
+                result.append((plan.anchor_op_index, pending_freq))
+                pending_freq = None
+        return result
+
+    @property
+    def setfreq_count(self) -> int:
+        """SetFreq operations issued per iteration."""
+        return len(self.switches())
+
+    def frequency_histogram(self) -> dict[float, float]:
+        """Total planned time per frequency, in microseconds."""
+        histogram: dict[float, float] = {}
+        for plan in self.plans:
+            histogram[plan.freq_mhz] = histogram.get(plan.freq_mhz, 0.0) + (
+                plan.duration_us
+            )
+        return histogram
+
+    def mean_lfc_freq_mhz(self) -> float | None:
+        """Time-weighted mean frequency over LFC stages (None if no LFC)."""
+        total = 0.0
+        weight = 0.0
+        for plan in self.plans:
+            if plan.kind is StageKind.LFC:
+                total += plan.freq_mhz * plan.duration_us
+                weight += plan.duration_us
+        if weight == 0:
+            return None
+        return total / weight
+
+    def to_json(self) -> str:
+        """Serialise to a JSON document."""
+        payload = {
+            "workload": self.workload,
+            "performance_loss_target": self.performance_loss_target,
+            "plans": [
+                {
+                    "start_us": plan.start_us,
+                    "duration_us": plan.duration_us,
+                    "freq_mhz": plan.freq_mhz,
+                    "kind": plan.kind.value,
+                    "anchor_op_index": plan.anchor_op_index,
+                }
+                for plan in self.plans
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, document: str) -> "DvfsStrategy":
+        """Deserialise from :meth:`to_json` output.
+
+        Raises:
+            StrategyError: on malformed documents.
+        """
+        try:
+            payload = json.loads(document)
+            plans = tuple(
+                StagePlan(
+                    start_us=float(item["start_us"]),
+                    duration_us=float(item["duration_us"]),
+                    freq_mhz=float(item["freq_mhz"]),
+                    kind=StageKind(item["kind"]),
+                    anchor_op_index=(
+                        None
+                        if item.get("anchor_op_index") is None
+                        else int(item["anchor_op_index"])
+                    ),
+                )
+                for item in payload["plans"]
+            )
+            return cls(
+                workload=payload["workload"],
+                performance_loss_target=float(
+                    payload["performance_loss_target"]
+                ),
+                plans=plans,
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise StrategyError(f"malformed strategy document: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        """Write the strategy to a JSON file."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DvfsStrategy":
+        """Read a strategy from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def strategy_from_genes(
+    workload: str,
+    stages: Sequence[Stage],
+    genes: Sequence[int] | np.ndarray,
+    freqs_mhz: Sequence[float],
+    performance_loss_target: float,
+) -> DvfsStrategy:
+    """Assemble a strategy from GA genes and the preprocessed stages.
+
+    Raises:
+        StrategyError: if gene and stage counts disagree.
+    """
+    genes = list(np.asarray(genes, dtype=int))
+    if len(genes) != len(stages):
+        raise StrategyError(
+            f"gene count {len(genes)} != stage count {len(stages)}"
+        )
+    plans = tuple(
+        StagePlan(
+            start_us=stage.start_us,
+            duration_us=stage.duration_us,
+            freq_mhz=float(freqs_mhz[gene]),
+            kind=stage.kind,
+            anchor_op_index=(
+                stage.op_indices[0] if stage.op_indices else None
+            ),
+        )
+        for stage, gene in zip(stages, genes)
+    )
+    return DvfsStrategy(
+        workload=workload,
+        performance_loss_target=performance_loss_target,
+        plans=plans,
+    )
+
+
+def constant_strategy(
+    workload: str, freq_mhz: float, duration_us: float
+) -> DvfsStrategy:
+    """A strategy holding one frequency for a whole iteration."""
+    return DvfsStrategy(
+        workload=workload,
+        performance_loss_target=1.0,
+        plans=(
+            StagePlan(
+                start_us=0.0,
+                duration_us=duration_us,
+                freq_mhz=freq_mhz,
+                kind=StageKind.LFC,
+            ),
+        ),
+    )

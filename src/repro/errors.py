@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class FrequencyError(ConfigurationError):
+    """A frequency is outside the supported DVFS grid."""
+
+
+class CalibrationError(ReproError):
+    """Power/performance model calibration could not be completed."""
+
+
+class FittingError(ReproError):
+    """A model-fitting routine failed to produce parameters."""
+
+
+class ProfilingError(ReproError):
+    """Profiling data is missing or inconsistent with the request."""
+
+
+class StrategyError(ReproError):
+    """A DVFS strategy is malformed or incompatible with a trace."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its budget."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or generator request is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown id or bad config."""

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Run experiments from Python::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig09").render())
+
+or from the shell::
+
+    repro-experiments table3 --scale 0.1
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult", "experiment_ids", "run_experiment"]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (lazy import to keep startup light)."""
+    from repro.experiments.registry import run_experiment as _run
+
+    return _run(experiment_id, **kwargs)
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids."""
+    from repro.experiments.registry import experiment_ids as _ids
+
+    return _ids()

@@ -1,0 +1,81 @@
+"""Common infrastructure for the experiment harness.
+
+Every experiment module exposes ``run(scale=..., seed=...) -> ExperimentResult``
+regenerating one table or figure of the paper.  Results carry both the
+measured rows/series and the paper's reported values, so EXPERIMENTS.md can
+be produced directly from harness output.
+
+``scale`` shrinks workload sizes (structure-preserving) so experiments run
+in seconds to minutes on a laptop; the paper-parity setting is
+``scale=1.0`` with the default GA configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Sequence
+
+from repro.core.report import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    #: What the paper reports for this artifact (for side-by-side tables).
+    paper_reference: dict[str, Any]
+    #: Headline measured values.
+    measured: dict[str, Any]
+    #: Row-wise data (table rows or series points).
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def to_json(self) -> str:
+        """Machine-readable record of the run (for archiving/regression)."""
+        return json.dumps(asdict(self), default=str, indent=2)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            lines.append(format_table(self.rows))
+        if self.measured:
+            lines.append("")
+            lines.append("measured:")
+            for key, value in self.measured.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        if self.paper_reference:
+            lines.append("paper reports:")
+            for key, value in self.paper_reference.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)) and value and isinstance(value[0], float):
+        return "[" + ", ".join(f"{v:.4g}" for v in value) + "]"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percent string for table rows."""
+    return f"{value:.2%}"
+
+
+def downsample(series: Sequence[float], points: int = 30) -> list[float]:
+    """Thin a long series to ~``points`` entries (keeps first and last)."""
+    if len(series) <= points:
+        return list(series)
+    step = max(1, len(series) // points)
+    thinned = list(series[::step])
+    if thinned[-1] != series[-1]:
+        thinned.append(series[-1])
+    return thinned

@@ -1,0 +1,46 @@
+"""Fig. 9 — the voltage-frequency relationship of the NPU.
+
+The paper measures that below 1300 MHz the supply voltage is constant, and
+above it rises linearly with frequency.  This experiment regenerates the
+curve from the simulated firmware's V-f table and verifies both properties.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.npu import default_npu_spec
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Fig. 9 voltage-frequency table."""
+    del scale, seed  # deterministic, size-free experiment
+    spec = default_npu_spec()
+    table = spec.voltage.table(spec.frequencies.points)
+    rows = [
+        {"freq_mhz": freq, "volts": round(volts, 4)} for freq, volts in table
+    ]
+    knee = spec.voltage.knee_mhz
+    below = [v for f, v in table if f <= knee]
+    above = [(f, v) for f, v in table if f >= knee]
+    flat_below = max(below) - min(below) < 1e-9
+    slopes = [
+        (v2 - v1) / (f2 - f1)
+        for (f1, v1), (f2, v2) in zip(above, above[1:])
+    ]
+    linear_above = max(slopes) - min(slopes) < 1e-9 if slopes else True
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Voltage-frequency relationship (Fig. 9)",
+        paper_reference={
+            "flat_below_mhz": 1300,
+            "behaviour": "constant voltage below the knee, linear above",
+        },
+        measured={
+            "knee_mhz": knee,
+            "flat_below_knee": flat_below,
+            "linear_above_knee": linear_above,
+            "volts_min": min(v for _, v in table),
+            "volts_max": max(v for _, v in table),
+        },
+        rows=rows,
+    )

@@ -1,0 +1,98 @@
+"""Fig. 14 ablation — operator-anchored vs wall-clock SetFreq triggering.
+
+The paper's executor synchronises SetFreq with the compute stream via
+Event Record/Wait so each frequency change lands exactly at its intended
+operator (Fig. 14).  This ablation executes the *same* strategy two ways:
+
+* **anchored** — the Fig. 14 mechanism (our default executor);
+* **wall-clock** — SetFreq fired at the baseline-profiled timestamps with
+  no synchronisation.  Under DVFS the execution shifts relative to the
+  plan, so later switches land on the wrong operators.
+
+The anchored mechanism should dominate on the Eq. 17 efficiency metric.
+"""
+
+from __future__ import annotations
+
+from repro.core import EnergyOptimizer, OptimizerConfig
+from repro.dvfs import GaConfig
+from repro.experiments.base import ExperimentResult, percent
+from repro.workloads import generate
+
+
+def run(
+    scale: float = 0.1,
+    seed: int = 0,
+    iterations: int = 400,
+    population: int = 150,
+) -> ExperimentResult:
+    """Execute one strategy with and without operator anchoring."""
+    config = OptimizerConfig(
+        performance_loss_target=0.02,
+        ga=GaConfig(population_size=population, iterations=iterations,
+                    seed=seed),
+        seed=seed,
+    )
+    optimizer = EnergyOptimizer(config)
+    trace = generate("gpt3", scale=scale, seed=seed)
+    bundle = optimizer.profile(trace)
+    models = optimizer.build_models(bundle)
+    candidates = optimizer.preprocess(bundle)
+    strategy, _, _ = optimizer.search(trace, models, candidates)
+
+    executor = optimizer.executor
+    device = optimizer.device
+    baseline = device.run_stable(trace)
+    anchored = device.run_stable(trace, executor.compile(strategy))
+    wall_clock = device.run_stable(
+        trace, executor.compile_wall_clock(strategy)
+    )
+
+    def metrics(result):
+        loss = (result.duration_us - baseline.duration_us) / (
+            baseline.duration_us
+        )
+        reduction = 1.0 - result.aicore_avg_watts / baseline.aicore_avg_watts
+        per_norm = 1.0 / (1.0 + loss)
+        score = per_norm * per_norm / (1.0 - reduction)
+        return loss, reduction, score
+
+    anchored_loss, anchored_cut, anchored_score = metrics(anchored)
+    wall_loss, wall_cut, wall_score = metrics(wall_clock)
+
+    rows = [
+        {
+            "executor": "anchored (Fig. 14 event sync)",
+            "perf_loss": percent(anchored_loss),
+            "aicore_reduction": percent(anchored_cut),
+            "efficiency_score": round(anchored_score, 4),
+        },
+        {
+            "executor": "wall-clock (no sync)",
+            "perf_loss": percent(wall_loss),
+            "aicore_reduction": percent(wall_cut),
+            "efficiency_score": round(wall_score, 4),
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="SetFreq anchoring ablation (Fig. 14 mechanism)",
+        paper_reference={
+            "mechanism": "Event Record/Wait keeps SetFreq aligned with the "
+            "intended operator despite timeline shifts",
+        },
+        measured={
+            "anchored_efficiency": anchored_score,
+            "wall_clock_efficiency": wall_score,
+            "anchoring_helps": anchored_score >= wall_score,
+            "anchored_within_target": anchored_loss
+            <= config.performance_loss_target + 0.003,
+        },
+        rows=rows,
+        notes=(
+            "Both runs execute the identical strategy; only the trigger "
+            "mechanism differs.  Without synchronisation the plan's "
+            "wall-clock switch times drift off the shifted execution, so "
+            "low-frequency windows land on the wrong operators."
+        ),
+    )

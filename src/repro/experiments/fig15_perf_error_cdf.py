@@ -1,0 +1,142 @@
+"""Fig. 15 / Sect. 7.2 — performance-model error CDFs for the three fits.
+
+The paper profiles seven models (ResNet50, ViT-Base, BERT, DeiT-Small,
+AlexNet, ShuffleNetV2Plus, VGG19) at six frequency points, fits each
+operator with Func. 1/2/3, and validates on the held-out frequencies:
+Func. 2 (the deployed closed-form fit) matches Func. 1's accuracy while
+Func. 3's bounded exponential lags behind.  Headline numbers: Func. 2
+averages 1.96% error, >90% of predictions within 5%, >98% within 10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.rng import RngFactory
+from repro.experiments.base import ExperimentResult, downsample
+from repro.npu import (
+    CannStyleProfiler,
+    FrequencyTimeline,
+    NpuDevice,
+    default_npu_spec,
+)
+from repro.npu.profiler import ProfileReport
+from repro.perf import (
+    FitFunction,
+    build_performance_model,
+    validate_performance_model,
+)
+from repro.workloads import PERF_VALIDATION_WORKLOADS, generate
+
+#: Frequencies profiled (six points, as in Sect. 7.2).
+PROFILE_FREQS = (1000.0, 1200.0, 1300.0, 1500.0, 1600.0, 1800.0)
+#: Func. 3's bounded curve_fit is orders of magnitude slower, so it runs on
+#: a subsample of operators per workload (documented coverage cap).
+FUNC3_OPERATOR_CAP = 120
+
+
+def _subsample(report: ProfileReport, names: set[str]) -> ProfileReport:
+    return replace(
+        report,
+        operators=tuple(op for op in report.operators if op.name in names),
+    )
+
+
+def run(
+    scale: float = 0.3,
+    seed: int = 0,
+    workloads: tuple[str, ...] = PERF_VALIDATION_WORKLOADS,
+    include_func3: bool = True,
+) -> ExperimentResult:
+    """Regenerate the Fig. 15 error CDFs."""
+    spec = default_npu_spec()
+    device = NpuDevice(spec)
+    profiler = CannStyleProfiler(spec, RngFactory(seed).generator("fig15"))
+    errors: dict[FitFunction, list[float]] = {fn: [] for fn in FitFunction}
+    functions = [FitFunction.QUADRATIC_NO_LINEAR, FitFunction.QUADRATIC]
+    if include_func3:
+        functions.append(FitFunction.EXPONENTIAL)
+    operators_seen = 0
+    total_ops = 0
+    short_ops = 0
+    short_time = 0.0
+    total_time = 0.0
+    for name in workloads:
+        trace = generate(name, scale=scale)
+        reports = [
+            profiler.profile(
+                device.run(
+                    trace, FrequencyTimeline.constant(freq),
+                    initial_celsius=60.0,
+                )
+            )
+            for freq in PROFILE_FREQS
+        ]
+        operators_seen += len(reports[0].significant_operators())
+        baseline = reports[-1]
+        for op in baseline.operators:
+            total_ops += 1
+            total_time += op.duration_us
+            if op.duration_us < 20.0:
+                short_ops += 1
+                short_time += op.duration_us
+        for function in functions:
+            if function is FitFunction.EXPONENTIAL:
+                sample_names = {
+                    op.name
+                    for op in reports[0].significant_operators()[
+                        :FUNC3_OPERATOR_CAP
+                    ]
+                }
+                used = [_subsample(r, sample_names) for r in reports]
+            else:
+                used = reports
+            model = build_performance_model(used, function=function)
+            validation = validate_performance_model(model, used)
+            errors[function].extend(r.error for r in validation.records)
+
+    rows = []
+    measured: dict[str, object] = {
+        "significant_operators": operators_seen,
+        # Sect. 7.2's exclusion statistics: most operators are tiny but
+        # contribute almost no time (paper: 58.3% of count, 0.9% of time).
+        "short_op_count_fraction": short_ops / total_ops,
+        "short_op_time_fraction": short_time / total_time,
+    }
+    cdf_series: dict[str, list[float]] = {}
+    for function in functions:
+        errs = np.array(errors[function])
+        rows.append(
+            {
+                "function": function.value,
+                "data_points": errs.size,
+                "mean_error": f"{errs.mean():.2%}",
+                "within_5pct": f"{(errs <= 0.05).mean():.1%}",
+                "within_10pct": f"{(errs <= 0.10).mean():.1%}",
+            }
+        )
+        measured[f"{function.value}_mean_error"] = float(errs.mean())
+        cdf_series[function.value] = downsample(sorted(errs.tolist()), 40)
+    measured["cdf_series"] = cdf_series
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Performance-model error CDF for Func. 1/2/3 (Fig. 15)",
+        paper_reference={
+            "short_ops": "58.3% of operators, 0.9% of total time",
+            "func2_mean_error": 0.0196,
+            "func2_within_5pct": ">90%",
+            "func2_within_10pct": ">98%",
+            "ordering": "func2 ~ func1, both better than func3",
+            "data_points": ">30,000 over >5,000 operators",
+        },
+        measured=measured,
+        rows=rows,
+        notes=(
+            "Func. 3 runs on a per-workload operator subsample "
+            f"(cap {FUNC3_OPERATOR_CAP}) because its bounded curve_fit is "
+            "orders of magnitude slower — the paper hit the same overflow/"
+            "cost issues and also rejected it."
+        ),
+    )

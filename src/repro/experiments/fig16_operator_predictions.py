@@ -1,0 +1,108 @@
+"""Fig. 16 — predicted vs measured time for five representative operators.
+
+The paper presents Add, RealDiv, ReduceMean, Conv2D, and BNTrainingUpdate
+(execution times spanning ~20 us to ~300 us), showing each fitting
+function's predictions and error rates across frequencies; Func. 2 tracks
+the measured times closely in most cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.rng import RngFactory
+from repro.experiments.base import ExperimentResult
+from repro.npu import (
+    CannStyleProfiler,
+    FrequencyTimeline,
+    NpuDevice,
+    default_npu_spec,
+)
+from repro.perf import FitFunction, build_performance_model
+from repro.workloads import build_trace, oplib
+
+#: All nine grid frequencies are profiled; fits use the Sect. 4.3 subsets.
+VALIDATION_FREQS = (1100.0, 1200.0, 1400.0, 1500.0, 1700.0)
+
+
+def representative_operators():
+    """The five Fig. 16 operators, sized for ~20-300 us at 1800 MHz."""
+    return [
+        oplib.elementwise("fig16.Add", "Add", 4_500_000, inputs=2),
+        oplib.elementwise(
+            "fig16.RealDiv", "RealDiv", 8_000_000, inputs=2,
+            flops_per_element=2.0,
+        ),
+        oplib.reduction("fig16.ReduceMean", "ReduceMean", 18_000_000),
+        oplib.conv2d("fig16.Conv2D", 64, 128, 160, 28, 28),
+        oplib.normalization(
+            "fig16.BNTrainingUpdate", "BNTrainingUpdate", 60_000_000
+        ),
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Fig. 16 per-operator prediction curves."""
+    del scale  # the five operators have fixed representative sizes
+    spec = default_npu_spec()
+    device = NpuDevice(spec)
+    profiler = CannStyleProfiler(spec, RngFactory(seed).generator("fig16"))
+    ops = representative_operators()
+    trace = build_trace("fig16", ops)
+    reports = [
+        profiler.profile(
+            device.run(trace, FrequencyTimeline.constant(freq),
+                       initial_celsius=60.0)
+        )
+        for freq in spec.frequencies.points
+    ]
+    models = {
+        function: build_performance_model(reports, function=function)
+        for function in FitFunction
+    }
+    measured_by_freq = {r.freq_label_mhz: r.durations_by_name() for r in reports}
+
+    rows = []
+    worst_func2 = 0.0
+    for op in ops:
+        for freq in VALIDATION_FREQS:
+            actual = measured_by_freq[freq][op.name]
+            row = {
+                "operator": op.op_type,
+                "freq_mhz": freq,
+                "measured_us": round(actual, 2),
+            }
+            for function, model in models.items():
+                predicted = model.predict_time_us(op.name, freq)
+                error = abs(predicted - actual) / actual
+                row[f"{function.value}_us"] = round(predicted, 2)
+                row[f"{function.value}_err"] = f"{error:.1%}"
+                if function is FitFunction.QUADRATIC_NO_LINEAR:
+                    worst_func2 = max(worst_func2, error)
+            rows.append(row)
+
+    durations = [measured_by_freq[1800.0][op.name] for op in ops]
+    func2_errors = [
+        abs(
+            models[FitFunction.QUADRATIC_NO_LINEAR].predict_time_us(op.name, f)
+            - measured_by_freq[f][op.name]
+        )
+        / measured_by_freq[f][op.name]
+        for op in ops
+        for f in VALIDATION_FREQS
+    ]
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Predictions for five representative operators (Fig. 16)",
+        paper_reference={
+            "operators": "Add, RealDiv, ReduceMean, Conv2D, BNTrainingUpdate",
+            "duration_span_us": "20-300",
+            "behaviour": "Func. 2 errors mostly low across frequencies",
+        },
+        measured={
+            "duration_span_us": f"{min(durations):.0f}-{max(durations):.0f}",
+            "func2_mean_error": float(np.mean(func2_errors)),
+            "func2_worst_error": worst_func2,
+        },
+        rows=rows,
+    )

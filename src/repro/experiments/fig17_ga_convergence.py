@@ -1,0 +1,91 @@
+"""Fig. 17 — GA convergence under different performance lower bounds.
+
+The paper tracks the fittest individual's score over 600 iterations for
+performance-loss targets of 2-10% on GPT-3: stricter targets converge
+faster (at 2% the seeded prior individual is already near-optimal), and
+every configuration converges within 500 rounds, each search in ~2.5 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EnergyOptimizer, OptimizerConfig
+from repro.dvfs import GaConfig, StrategyScorer, run_search
+from repro.experiments.base import ExperimentResult, downsample
+from repro.workloads import generate
+
+TARGETS = (0.02, 0.04, 0.06, 0.08, 0.10)
+
+
+def run(
+    scale: float = 0.1,
+    seed: int = 0,
+    iterations: int = 600,
+    population: int = 200,
+) -> ExperimentResult:
+    """Regenerate the Fig. 17 convergence trajectories."""
+    config = OptimizerConfig(
+        ga=GaConfig(population_size=population, iterations=iterations,
+                    seed=seed),
+        seed=seed,
+    )
+    optimizer = EnergyOptimizer(config)
+    trace = generate("gpt3", scale=scale, seed=seed)
+    bundle = optimizer.profile(trace)
+    models = optimizer.build_models(bundle)
+    candidates = optimizer.preprocess(bundle)
+
+    rows = []
+    series: dict[str, list[float]] = {}
+    convergence = {}
+    for target in TARGETS:
+        scorer = StrategyScorer(
+            trace=trace,
+            stages=candidates.stages,
+            perf_model=models.performance,
+            power_table=models.power,
+            freqs_mhz=config.npu.frequencies.points,
+            performance_loss_target=target,
+        )
+        result = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points,
+            config.ga,
+        )
+        history = np.array(result.history)
+        # Plateau detection: the generation at which 95% of the total score
+        # improvement has been realised (elitism keeps refining the tail of
+        # the trajectory with negligible gains long after the knee).
+        threshold = history[0] + 0.95 * (history[-1] - history[0])
+        converged_at = int(np.argmax(history >= threshold))
+        convergence[target] = converged_at
+        label = f"{target:.0%}"
+        series[label] = downsample(history.tolist(), 40)
+        rows.append(
+            {
+                "loss_target": label,
+                "initial_best": round(float(history[0]), 4),
+                "final_best": round(float(history[-1]), 4),
+                "converged_at_iteration": converged_at,
+                "wall_seconds": round(result.wall_seconds, 2),
+            }
+        )
+
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="GA convergence under different loss bounds (Fig. 17)",
+        paper_reference={
+            "behaviour": "stricter targets converge faster; all within "
+            "500 rounds; each search within 2.5 s",
+            "at_2pct": "the seeded prior individual is already optimal",
+        },
+        measured={
+            "all_within_500": all(v <= 500 for v in convergence.values()),
+            "latest_convergence": max(convergence.values()),
+            "searches_under_2p5_seconds": all(
+                row["wall_seconds"] <= 2.5 for row in rows
+            ),
+            "score_series": series,
+        },
+        rows=rows,
+    )

@@ -1,0 +1,82 @@
+"""Table 2 / Sect. 7.3 — power-model validation.
+
+The paper builds per-load power models from 1000/1800 MHz data for GPT-3,
+BERT, VGG19, ResNet-50 and ViT training plus the Softmax and Tanh
+operators, then predicts the remaining frequencies: 22.2% of predictions
+land within 1%, 64.8% within 5%, >80% within 10%, average error 4.62%.
+Setting gamma = 0 (no temperature term) degrades the average to 4.97%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rng import RngFactory
+from repro.experiments.base import ExperimentResult, percent
+from repro.npu import NpuDevice, PowerTelemetry, default_npu_spec
+from repro.power import run_offline_calibration, validate_power_model
+from repro.workloads import POWER_VALIDATION_WORKLOADS, generate
+from repro.workloads.generators import micro
+
+VALIDATION_FREQS = (1100.0, 1200.0, 1400.0, 1500.0, 1700.0)
+
+
+def run(
+    scale: float = 0.15,
+    seed: int = 0,
+    workloads: tuple[str, ...] = POWER_VALIDATION_WORKLOADS,
+) -> ExperimentResult:
+    """Regenerate Table 2 (and the gamma = 0 ablation)."""
+    spec = default_npu_spec()
+    device = NpuDevice(spec)
+    telemetry = PowerTelemetry(spec, RngFactory(seed).generator("table2"))
+    constants = run_offline_calibration(
+        device,
+        telemetry,
+        micro.mixed_calibration_load(repeats=15),
+        k_loads=[micro.matmul_loop(repeats=30), micro.gelu_loop(repeats=30)],
+    )
+    loads = [generate(name, scale=scale, seed=seed) for name in workloads]
+    loads.append(micro.softmax_loop(repeats=max(10, int(100 * scale))))
+    loads.append(micro.tanh_loop(repeats=max(10, int(100 * scale))))
+
+    validation = validate_power_model(
+        loads, device, telemetry, constants,
+        validation_freqs_mhz=VALIDATION_FREQS,
+    )
+    ablation = validate_power_model(
+        loads, device, telemetry, constants.without_thermal_term(),
+        validation_freqs_mhz=VALIDATION_FREQS,
+    )
+
+    buckets = validation.bucket_table()
+    rows = [
+        {"error_range": label, "fraction": percent(fraction)}
+        for label, fraction in buckets.items()
+    ]
+    rows.append({"error_range": "Avg", "fraction": percent(validation.mean_error)})
+
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Power-model prediction error (Table 2)",
+        paper_reference={
+            "buckets": {
+                "(0, 1%]": 0.222,
+                "(1%, 5%]": 0.426,
+                "(5%, 10%]": 0.222,  # printed '42.2%' is a typo; rows sum ~1
+                "(10%, +inf)": 0.194,
+            },
+            "mean_error": 0.0462,
+            "gamma0_mean_error": 0.0497,
+        },
+        measured={
+            "mean_error": validation.mean_error,
+            "gamma0_mean_error": ablation.mean_error,
+            "thermal_term_helps": ablation.mean_error >= validation.mean_error,
+            "predictions": len(validation.records),
+        },
+        rows=rows,
+        notes=(
+            "Models are fitted on the 1000/1800 MHz reference points, as in "
+            "Sect. 7.3, and validated at "
+            f"{', '.join(str(int(f)) for f in VALIDATION_FREQS)} MHz."
+        ),
+    )

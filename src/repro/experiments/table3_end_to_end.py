@@ -1,0 +1,125 @@
+"""Table 3 — end-to-end energy optimization results.
+
+The paper's headline table: GPT-3 training optimised at loss targets of
+2/4/6/8/10%, plus BERT, ResNet-50 and ResNet-152 at the production 2%
+target.  Each row reports baseline vs DVFS iteration time, SoC power and
+AICore power.  Expected shapes: measured loss stays under each target,
+savings grow with the target with diminishing returns, and AICore
+reductions are several times the SoC reductions.
+"""
+
+from __future__ import annotations
+
+from repro.core import EnergyOptimizer, OptimizerConfig, sweep_loss_targets
+from repro.dvfs import GaConfig
+from repro.experiments.base import ExperimentResult, percent
+from repro.workloads import generate
+
+#: The paper's Table 3 (model, target) -> (loss, soc reduction, aicore
+#: reduction) for reference columns.
+PAPER_ROWS = {
+    ("gpt3", 0.02): (0.0159, 0.0556, 0.1527),
+    ("gpt3", 0.04): (0.0328, 0.0698, 0.2025),
+    ("gpt3", 0.06): (0.0496, 0.0935, 0.2568),
+    ("gpt3", 0.08): (0.0717, 0.1065, 0.2977),
+    ("gpt3", 0.10): (0.0859, 0.1197, 0.3201),
+    ("bert", 0.02): (0.0178, 0.0661, 0.1708),
+    ("resnet50", 0.02): (0.018, 0.0344, 0.1105),
+    ("resnet152", 0.02): (0.0188, 0.0420, 0.1037),
+}
+
+GPT3_TARGETS = (0.02, 0.04, 0.06, 0.08, 0.10)
+OTHER_MODELS = ("bert", "resnet50", "resnet152")
+
+
+def run(
+    scale: float = 0.1,
+    seed: int = 0,
+    iterations: int = 600,
+    population: int = 200,
+) -> ExperimentResult:
+    """Regenerate Table 3."""
+    ga_config = GaConfig(
+        population_size=population, iterations=iterations, seed=seed
+    )
+    config = OptimizerConfig(ga=ga_config, seed=seed)
+    optimizer = EnergyOptimizer(config)
+    optimizer.calibrate()
+
+    rows = []
+    reductions_at_2pct = []
+    losses_at_2pct = []
+    gpt3_series = []
+    plan = [("gpt3", GPT3_TARGETS)] + [
+        (name, (0.02,)) for name in OTHER_MODELS
+    ]
+    for name, targets in plan:
+        workload_scale = scale if name == "gpt3" else min(1.0, scale * 5)
+        trace = generate(name, scale=workload_scale, seed=seed)
+        sweep = sweep_loss_targets(trace, targets, optimizer=optimizer)
+        for report in sweep.reports:
+            target = report.performance_loss_target
+            paper = PAPER_ROWS.get((name, round(target, 2)))
+            row = {
+                "model": name,
+                "loss_target": percent(target),
+                "orig_iter_s": round(report.baseline.iteration_seconds, 4),
+                "dvfs_iter_s": round(report.under_dvfs.iteration_seconds, 4),
+                "perf_loss": percent(report.performance_loss),
+                "orig_soc_w": round(report.baseline.soc_watts, 1),
+                "dvfs_soc_w": round(report.under_dvfs.soc_watts, 1),
+                "soc_reduction": percent(report.soc_power_reduction),
+                "orig_aicore_w": round(report.baseline.aicore_watts, 1),
+                "dvfs_aicore_w": round(report.under_dvfs.aicore_watts, 1),
+                "aicore_reduction": percent(report.aicore_power_reduction),
+                "setfreq_count": report.setfreq_count,
+                "paper_loss": percent(paper[0]) if paper else "-",
+                "paper_aicore_reduction": percent(paper[2]) if paper else "-",
+            }
+            rows.append(row)
+            if name == "gpt3":
+                gpt3_series.append(
+                    (target, report.aicore_power_reduction,
+                     report.soc_power_reduction,
+                     report.performance_loss)
+                )
+            if round(target, 2) == 0.02:
+                reductions_at_2pct.append(report.aicore_power_reduction)
+                losses_at_2pct.append(report.performance_loss)
+
+    aicore_by_target = [r[1] for r in gpt3_series]
+    monotone = all(
+        b >= a - 0.01 for a, b in zip(aicore_by_target, aicore_by_target[1:])
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="End-to-end energy optimization (Table 3)",
+        paper_reference={
+            "avg_aicore_reduction_at_2pct": 0.1344,
+            "avg_soc_reduction_at_2pct": 0.0495,
+            "avg_perf_loss_at_2pct": 0.0176,
+            "behaviour": "savings grow with target, diminishing returns; "
+            "2% is the production sweet spot",
+        },
+        measured={
+            "avg_aicore_reduction_at_2pct": (
+                sum(reductions_at_2pct) / len(reductions_at_2pct)
+            ),
+            "avg_perf_loss_at_2pct": (
+                sum(losses_at_2pct) / len(losses_at_2pct)
+            ),
+            "gpt3_savings_monotone_in_target": monotone,
+            "all_losses_within_target": all(
+                float(row["perf_loss"].rstrip("%"))
+                <= float(row["loss_target"].rstrip("%")) + 0.3
+                for row in rows
+            ),
+        },
+        rows=rows,
+        notes=(
+            "Absolute reductions are simulator-calibrated; the preserved "
+            "shapes are the loss-vs-target compliance, the monotone-"
+            "with-diminishing-returns savings, and AICore savings being "
+            "several times the SoC savings."
+        ),
+    )

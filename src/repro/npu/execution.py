@@ -1,0 +1,243 @@
+"""Ground-truth evaluation of operators on the simulated NPU.
+
+The :class:`GroundTruthEvaluator` computes, for an operator spec at a core
+frequency, the exact duration, cycle count, pipe utilisation, and bandwidth
+utilisation implied by the timeline model of Sect. 4.2 — the quantities a
+real chip would physically exhibit.  Everything downstream (profiler,
+telemetry, device energy integration) observes these values, possibly with
+measurement noise.
+
+Evaluations are memoised per ``(operator spec, frequency)`` because traces
+dispatch the same spec many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.npu.pipelines import Pipe
+from repro.npu.spec import NpuSpec
+from repro.npu.timeline import BlockCosts, Timeline, build_timeline
+from repro.npu.operators import OperatorKind, OperatorSpec
+
+#: Uncore bandwidth utilisation attributed to non-compute operators:
+#: communication moves tensors through HBM/links, AICPU barely touches it.
+_NONCOMPUTE_BANDWIDTH_UTILISATION: dict[OperatorKind, float] = {
+    OperatorKind.AICPU: 0.05,
+    OperatorKind.COMMUNICATION: 0.25,
+    OperatorKind.IDLE: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class OperatorEvaluation:
+    """Exact execution characteristics of one operator at one frequency.
+
+    Attributes:
+        spec: the evaluated operator.
+        freq_mhz: the core frequency of the evaluation.
+        duration_us: total wall time including fixed overhead.
+        pipeline_cycles: cycles spent in the Sect. 4.2 timeline.
+        overhead_cycles: fixed pre/post-processing expressed in cycles.
+        stall_cycles: cycles with no core pipe computing.
+        utilisation: per-pipe busy fraction of the full duration.
+        bandwidth_utilisation: achieved fraction of peak uncore bandwidth.
+        alpha_effective: the operator's ground-truth load-power coefficient
+            (utilisation-weighted pipe activity) at this frequency.
+    """
+
+    spec: OperatorSpec
+    freq_mhz: float
+    duration_us: float
+    pipeline_cycles: float
+    overhead_cycles: float
+    stall_cycles: float
+    utilisation: Mapping[Pipe, float]
+    bandwidth_utilisation: float
+    alpha_effective: float
+
+    @property
+    def total_cycles(self) -> float:
+        """All core-domain cycles elapsed during the operator."""
+        return self.pipeline_cycles + self.overhead_cycles
+
+    def max_utilisation(self) -> tuple[Pipe | None, float]:
+        """The busiest pipe and its ratio (``(None, 0.0)`` if none busy)."""
+        if not self.utilisation:
+            return None, 0.0
+        pipe = max(self.utilisation, key=lambda p: self.utilisation[p])
+        return pipe, self.utilisation[pipe]
+
+    def utilisation_sum(self) -> float:
+        """Sum of all pipe ratios (Sect. 6.1's no-pipeline-bound signal)."""
+        return float(sum(self.utilisation.values()))
+
+
+class GroundTruthEvaluator:
+    """Memoised exact operator evaluation against one NPU spec."""
+
+    def __init__(self, npu: NpuSpec) -> None:
+        self._npu = npu
+        # Keyed by the operator's ComputeCharacter (not its spec): traces
+        # contain thousands of uniquely named operators that share identical
+        # characters across layers, and everything here depends only on the
+        # character.
+        self._cache: dict[tuple[object, float], OperatorEvaluation] = {}
+
+    @property
+    def npu(self) -> NpuSpec:
+        """The hardware description evaluations are computed against."""
+        return self._npu
+
+    def evaluate(self, spec: OperatorSpec, freq_mhz: float) -> OperatorEvaluation:
+        """Exact characteristics of ``spec`` at a validated grid frequency."""
+        freq_mhz = self._npu.frequencies.validate(freq_mhz)
+        if spec.is_compute:
+            key = (spec.compute, freq_mhz)
+        else:
+            key = ((spec.kind, spec.fixed_duration_us), freq_mhz)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._evaluate_uncached(spec, freq_mhz)
+            self._cache[key] = cached
+            return cached
+        if cached.spec is spec or cached.spec == spec:
+            return cached
+        # Same character under a different name: reuse the numbers.
+        return OperatorEvaluation(
+            spec=spec,
+            freq_mhz=cached.freq_mhz,
+            duration_us=cached.duration_us,
+            pipeline_cycles=cached.pipeline_cycles,
+            overhead_cycles=cached.overhead_cycles,
+            stall_cycles=cached.stall_cycles,
+            utilisation=cached.utilisation,
+            bandwidth_utilisation=cached.bandwidth_utilisation,
+            alpha_effective=cached.alpha_effective,
+        )
+
+    def duration_us(self, spec: OperatorSpec, freq_mhz: float) -> float:
+        """Wall time of ``spec`` at ``freq_mhz``."""
+        return self.evaluate(spec, freq_mhz).duration_us
+
+    def timeline(self, spec: OperatorSpec, freq_mhz: float) -> Timeline:
+        """The explicit Sect. 4.2 schedule (compute operators only)."""
+        if not spec.is_compute or spec.compute is None:
+            raise ConfigurationError(
+                f"operator {spec.name!r} is not a compute operator"
+            )
+        freq_mhz = self._npu.frequencies.validate(freq_mhz)
+        costs = self._block_costs(spec, freq_mhz)
+        return build_timeline(
+            spec.compute.scenario, spec.compute.n_blocks, costs,
+            spec.compute.core_mix_dict,
+        )
+
+    def aicore_power(
+        self, evaluation: OperatorEvaluation, delta_celsius: float
+    ) -> float:
+        """AICore power while this operator runs, at a temperature rise."""
+        volts = self._npu.volts_at(evaluation.freq_mhz)
+        power = self._npu.power
+        return (
+            power.aicore_active_power(
+                evaluation.alpha_effective, evaluation.freq_mhz, volts
+            )
+            + power.aicore_idle_power(evaluation.freq_mhz, volts)
+            + power.aicore_thermal_power(delta_celsius, volts)
+        )
+
+    def soc_power(
+        self, evaluation: OperatorEvaluation, delta_celsius: float
+    ) -> float:
+        """SoC power while this operator runs, at a temperature rise."""
+        volts = self._npu.volts_at(evaluation.freq_mhz)
+        power = self._npu.power
+        return (
+            self.aicore_power(evaluation, delta_celsius)
+            + power.coupled_power(evaluation.freq_mhz, volts)
+            + power.uncore_power(evaluation.bandwidth_utilisation, delta_celsius)
+        )
+
+    def idle_aicore_power(self, freq_mhz: float, delta_celsius: float) -> float:
+        """AICore power with no operator running."""
+        volts = self._npu.volts_at(freq_mhz)
+        power = self._npu.power
+        return power.aicore_idle_power(freq_mhz, volts) + (
+            power.aicore_thermal_power(delta_celsius, volts)
+        )
+
+    def idle_soc_power(self, freq_mhz: float, delta_celsius: float) -> float:
+        """SoC power with no operator running."""
+        volts = self._npu.volts_at(freq_mhz)
+        power = self._npu.power
+        return (
+            self.idle_aicore_power(freq_mhz, delta_celsius)
+            + power.coupled_power(freq_mhz, volts)
+            + power.uncore_power(0.0, delta_celsius)
+        )
+
+    def _block_costs(self, spec: OperatorSpec, freq_mhz: float) -> BlockCosts:
+        compute = spec.compute
+        assert compute is not None
+        memory = self._npu.memory
+        return BlockCosts(
+            ld_cycles=memory.transfer_cycles(
+                compute.ld_bytes_per_block, freq_mhz, compute.bandwidth_derate
+            ),
+            st_cycles=memory.transfer_cycles(
+                compute.st_bytes_per_block, freq_mhz, compute.bandwidth_derate
+            ),
+            core_cycles=compute.core_cycles_per_block,
+        )
+
+    def _evaluate_uncached(
+        self, spec: OperatorSpec, freq_mhz: float
+    ) -> OperatorEvaluation:
+        if not spec.is_compute or spec.compute is None:
+            return self._evaluate_noncompute(spec, freq_mhz)
+        compute = spec.compute
+        timeline = self.timeline(spec, freq_mhz)
+        overhead_cycles = compute.fixed_overhead_us * freq_mhz
+        total_cycles = timeline.total_cycles + overhead_cycles
+        duration_us = total_cycles / freq_mhz
+        busy = timeline.busy_cycles()
+        utilisation = {
+            pipe: cycles / total_cycles for pipe, cycles in busy.items()
+        }
+        moved_bytes = spec.total_ld_bytes() + spec.total_st_bytes()
+        peak_bw = self._npu.memory.uncore_bandwidth(derate=1.0)
+        bandwidth_utilisation = min(
+            1.0, (moved_bytes / duration_us) / peak_bw
+        )
+        alpha = self._npu.power.effective_alpha(utilisation)
+        return OperatorEvaluation(
+            spec=spec,
+            freq_mhz=freq_mhz,
+            duration_us=duration_us,
+            pipeline_cycles=timeline.total_cycles,
+            overhead_cycles=overhead_cycles,
+            stall_cycles=timeline.stall_cycles(),
+            utilisation=utilisation,
+            bandwidth_utilisation=bandwidth_utilisation,
+            alpha_effective=alpha,
+        )
+
+    def _evaluate_noncompute(
+        self, spec: OperatorSpec, freq_mhz: float
+    ) -> OperatorEvaluation:
+        duration_us = spec.fixed_duration_us
+        bandwidth = _NONCOMPUTE_BANDWIDTH_UTILISATION[spec.kind]
+        return OperatorEvaluation(
+            spec=spec,
+            freq_mhz=freq_mhz,
+            duration_us=duration_us,
+            pipeline_cycles=0.0,
+            overhead_cycles=duration_us * freq_mhz,
+            stall_cycles=duration_us * freq_mhz,
+            utilisation={},
+            bandwidth_utilisation=bandwidth,
+            alpha_effective=0.0,
+        )

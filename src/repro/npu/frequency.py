@@ -1,0 +1,99 @@
+"""The DVFS frequency grid of the simulated NPU.
+
+The Ascend NPU in the paper supports core frequencies from 1000 MHz to
+1800 MHz in 100 MHz increments (Sect. 5.1); the uncore domain is fixed
+(Sect. 3).  :class:`FrequencyGrid` captures that grid and performs the
+validation every other component relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FrequencyError
+
+
+@dataclass(frozen=True)
+class FrequencyGrid:
+    """A discrete set of supported core frequencies, in MHz."""
+
+    min_mhz: float = 1000.0
+    max_mhz: float = 1800.0
+    step_mhz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.min_mhz <= 0 or self.max_mhz <= 0 or self.step_mhz <= 0:
+            raise FrequencyError(
+                f"grid bounds must be positive: {self.min_mhz}, "
+                f"{self.max_mhz}, {self.step_mhz}"
+            )
+        if self.max_mhz < self.min_mhz:
+            raise FrequencyError(
+                f"max {self.max_mhz} MHz below min {self.min_mhz} MHz"
+            )
+        span = self.max_mhz - self.min_mhz
+        steps = span / self.step_mhz
+        if abs(steps - round(steps)) > 1e-9:
+            raise FrequencyError(
+                f"step {self.step_mhz} MHz does not evenly divide "
+                f"[{self.min_mhz}, {self.max_mhz}]"
+            )
+
+    @property
+    def points(self) -> tuple[float, ...]:
+        """All supported frequencies, ascending, in MHz."""
+        count = int(round((self.max_mhz - self.min_mhz) / self.step_mhz)) + 1
+        return tuple(self.min_mhz + i * self.step_mhz for i in range(count))
+
+    @property
+    def count(self) -> int:
+        """Number of supported frequency points."""
+        return len(self.points)
+
+    def validate(self, freq_mhz: float) -> float:
+        """Return ``freq_mhz`` if it is a supported point, else raise.
+
+        Raises:
+            FrequencyError: if the frequency is not on the grid.
+        """
+        if not self.contains(freq_mhz):
+            raise FrequencyError(
+                f"{freq_mhz} MHz is not a supported frequency; "
+                f"supported points are {self.points}"
+            )
+        return float(freq_mhz)
+
+    def contains(self, freq_mhz: float) -> bool:
+        """Whether ``freq_mhz`` lies exactly on the grid."""
+        if freq_mhz < self.min_mhz - 1e-9 or freq_mhz > self.max_mhz + 1e-9:
+            return False
+        offset = (freq_mhz - self.min_mhz) / self.step_mhz
+        return abs(offset - round(offset)) <= 1e-9
+
+    def nearest(self, freq_mhz: float) -> float:
+        """The supported frequency closest to ``freq_mhz`` (ties go up)."""
+        pts = np.asarray(self.points)
+        idx = int(np.argmin(np.abs(pts - freq_mhz)))
+        # Prefer the higher point on exact ties to stay performance-safe.
+        if (
+            idx + 1 < pts.size
+            and abs(pts[idx + 1] - freq_mhz) == abs(pts[idx] - freq_mhz)
+        ):
+            idx += 1
+        return float(pts[idx])
+
+    def index_of(self, freq_mhz: float) -> int:
+        """Index of a supported frequency within :attr:`points`.
+
+        Raises:
+            FrequencyError: if the frequency is not on the grid.
+        """
+        self.validate(freq_mhz)
+        return int(round((freq_mhz - self.min_mhz) / self.step_mhz))
+
+    def clamp(self, freq_mhz: float) -> float:
+        """Clamp to the grid range, then snap to the nearest point."""
+        bounded = min(max(freq_mhz, self.min_mhz), self.max_mhz)
+        return self.nearest(bounded)

@@ -1,0 +1,165 @@
+"""Memory hierarchy abstraction and the Ld/St bandwidth law (paper Sect. 4.1).
+
+The paper's models rely only on an abstraction of the hierarchy (Fig. 2):
+an L1 cache per AICore in the *core* frequency domain, and a shared L2 plus
+HBM in the fixed-frequency *uncore* domain.  Data transfer between domains
+obeys Eq. (1):
+
+    Tp(f) = min(C * f * core_num, BW_uncore)
+
+with ``C`` a hardware constant (bus port width) and ``BW_uncore`` the peak
+uncore bandwidth (shaped by L2 bandwidth, HBM bandwidth and L2 hit rate).
+From Eq. (3)-(4), moving ``M`` bytes at core frequency ``f`` costs
+
+    Cycle(f) = max(M * f / BW_uncore, M / (C * core_num)) + T0 * f
+
+which is the ``max(a*f, c) + T0*f`` building block of every operator cycle
+function.  Per-operator L2 hit-rate variety is modelled with a bandwidth
+*derate* multiplier on ``BW_uncore``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gbps_to_bytes_per_us
+
+
+def smooth_max(x: float, y: float, sharpness: float) -> float:
+    """The p-norm relaxation ``(x^p + y^p)^(1/p)`` of ``max(x, y)``.
+
+    Converges to ``max(x, y)`` as ``sharpness -> inf``; convex in each
+    argument for ``sharpness >= 1``.  Inputs must be non-negative.
+    """
+    if x < 0 or y < 0:
+        raise ConfigurationError(f"smooth_max needs non-negative inputs: {x}, {y}")
+    if x == 0 or y == 0:
+        return max(x, y)
+    # Factor out the larger term for numerical stability.
+    hi, lo = (x, y) if x >= y else (y, x)
+    ratio = lo / hi
+    return hi * (1.0 + ratio**sharpness) ** (1.0 / sharpness)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Static description of the simulated memory system.
+
+    Attributes:
+        core_count: number of AICores sharing the uncore.
+        bytes_per_cycle_per_core: the hardware constant ``C`` of Eq. (1).
+        uncore_bandwidth_gbps: peak uncore bandwidth ``BW_uncore`` in GB/s
+            at a neutral derate of 1.0.
+        transfer_overhead_us: the fixed time overhead ``T0`` of a transfer
+            (initiation, signal propagation), in microseconds.
+        l1_kib_per_core: L1 size, informational (capacity is not modelled).
+        l2_mib: shared L2 size, informational.
+        hbm_gib: HBM capacity, informational.
+    """
+
+    core_count: int = 24
+    bytes_per_cycle_per_core: float = 36.0
+    uncore_bandwidth_gbps: float = 1200.0
+    transfer_overhead_us: float = 0.05
+    #: Sharpness ``p`` of the saturation corner.  Eq. (1)'s ideal
+    #: ``min(C*f*core_num, BW)`` is an idealisation; measured hardware
+    #: transitions smoothly as transfers begin to queue near saturation.
+    #: We model the transfer cycles with the p-norm relaxation
+    #: ``((a*f)^p + c^p)^(1/p)``, which converges to the ideal ``max`` as
+    #: ``p -> inf`` and remains convex in ``f`` for any ``p >= 1``.
+    saturation_sharpness: float = 6.0
+    l1_kib_per_core: float = 512.0
+    l2_mib: float = 192.0
+    hbm_gib: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.core_count <= 0:
+            raise ConfigurationError(f"core_count must be positive: {self.core_count}")
+        if self.bytes_per_cycle_per_core <= 0:
+            raise ConfigurationError(
+                f"bytes_per_cycle_per_core must be positive: "
+                f"{self.bytes_per_cycle_per_core}"
+            )
+        if self.uncore_bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"uncore bandwidth must be positive: {self.uncore_bandwidth_gbps}"
+            )
+        if self.transfer_overhead_us < 0:
+            raise ConfigurationError(
+                f"transfer overhead must be non-negative: {self.transfer_overhead_us}"
+            )
+        if self.saturation_sharpness < 1:
+            raise ConfigurationError(
+                f"saturation_sharpness must be >= 1: {self.saturation_sharpness}"
+            )
+
+    @property
+    def core_bytes_per_cycle(self) -> float:
+        """Total core-side transfer width ``C * core_num`` in bytes/cycle."""
+        return self.bytes_per_cycle_per_core * self.core_count
+
+    def uncore_bandwidth(self, derate: float = 1.0) -> float:
+        """Effective uncore bandwidth in bytes/us for a given derate.
+
+        The *derate* folds per-operator L2 hit rate into the bandwidth: a
+        value above 1.0 models L2-resident traffic (hits amplify effective
+        bandwidth), below 1.0 models HBM-heavy or strided access.
+        """
+        if derate <= 0:
+            raise ConfigurationError(f"bandwidth derate must be positive: {derate}")
+        return gbps_to_bytes_per_us(self.uncore_bandwidth_gbps) * derate
+
+    def throughput(self, freq_mhz: float, derate: float = 1.0) -> float:
+        """Ld/St throughput ``Tp(f)`` in bytes/us — Eq. (1)."""
+        if freq_mhz <= 0:
+            raise ConfigurationError(f"frequency must be positive: {freq_mhz}")
+        core_side = self.core_bytes_per_cycle * freq_mhz
+        return min(core_side, self.uncore_bandwidth(derate))
+
+    def saturation_frequency(self, derate: float = 1.0) -> float:
+        """The saturation point ``f_s = BW_uncore / (C * core_num)`` — Eq. (2).
+
+        Above this core frequency the uncore bandwidth, not the core-side
+        port width, limits transfer throughput.
+        """
+        return self.uncore_bandwidth(derate) / self.core_bytes_per_cycle
+
+    def transfer_cycle_coefficients(
+        self, volume_bytes: float, derate: float = 1.0
+    ) -> tuple[float, float]:
+        """The ``(a, c)`` of ``Cycle(f) = max(a*f, c) + T0*f`` — Eq. (4).
+
+        ``a = M / BW_uncore`` (microseconds: the wall time once the uncore
+        saturates) and ``c = M / (C * core_num)`` (cycles: the core-side
+        port-limited cost).  The caller adds the ``T0 * f`` term.
+
+        Raises:
+            ConfigurationError: on negative volume.
+        """
+        if volume_bytes < 0:
+            raise ConfigurationError(f"volume must be non-negative: {volume_bytes}")
+        a = volume_bytes / self.uncore_bandwidth(derate)
+        c = volume_bytes / self.core_bytes_per_cycle
+        return a, c
+
+    def transfer_cycles(
+        self, volume_bytes: float, freq_mhz: float, derate: float = 1.0
+    ) -> float:
+        """Core-domain cycles to move ``volume_bytes`` at ``freq_mhz``.
+
+        This is Eq. (4) with the saturation corner smoothed by the p-norm
+        relaxation (see :attr:`saturation_sharpness`): the ideal
+        ``max(a*f, c)`` becomes ``((a*f)^p + c^p)^(1/p)``.
+        """
+        if volume_bytes == 0:
+            return 0.0
+        a, c = self.transfer_cycle_coefficients(volume_bytes, derate)
+        smoothed = smooth_max(a * freq_mhz, c, self.saturation_sharpness)
+        return smoothed + self.transfer_overhead_us * freq_mhz
+
+    def transfer_time_us(
+        self, volume_bytes: float, freq_mhz: float, derate: float = 1.0
+    ) -> float:
+        """Wall time of a transfer in microseconds — Eq. (3)."""
+        return self.transfer_cycles(volume_bytes, freq_mhz, derate) / freq_mhz

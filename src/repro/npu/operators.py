@@ -1,0 +1,170 @@
+"""Operator specifications — the ground-truth description of one AI operator.
+
+This lives in the :mod:`repro.npu` package because an operator spec is what
+the hardware executes; the :mod:`repro.workloads` package re-exports these
+types as its public surface and builds traces out of them.
+
+An :class:`OperatorSpec` carries everything the simulator needs to execute
+an operator: its timeline scenario, block structure, per-block core cycles
+and transfer volumes, pipe mix, and fixed overheads.  It deliberately does
+*not* carry any fitted model — models are learned from profiled
+measurements, exactly as on real hardware.
+
+Besides compute operators, traces contain AICPU operators, communication
+operators, and scheduler-generated idle spans (Sect. 6.1), all of which are
+insensitive to the AICore frequency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import WorkloadError
+from repro.npu.pipelines import Pipe, validate_core_mix
+from repro.npu.timeline import Scenario
+
+
+class OperatorKind(enum.Enum):
+    """Top-level operator categories of Sect. 6.1."""
+
+    COMPUTE = "compute"
+    AICPU = "aicpu"
+    COMMUNICATION = "communication"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class ComputeCharacter:
+    """Ground-truth execution character of a compute operator.
+
+    Attributes:
+        scenario: which of the four timeline scenarios (Sect. 4.2) applies.
+        n_blocks: number of core computations ``n``.
+        core_cycles_per_block: frequency-independent core cycles per block.
+        core_mix: fractions of a core block spent on each core pipe, as a
+            sorted tuple of ``(pipe, fraction)`` pairs (hashable).
+        ld_bytes_per_block: move-in volume per block.
+        st_bytes_per_block: move-out volume per block.
+        bandwidth_derate: effective uncore-bandwidth multiplier for this
+            operator (models L2 hit rate; see MemoryHierarchy).
+        fixed_overhead_us: frequency-independent pre/post-processing time.
+    """
+
+    scenario: Scenario
+    n_blocks: int
+    core_cycles_per_block: float
+    core_mix: tuple[tuple[Pipe, float], ...]
+    ld_bytes_per_block: float
+    st_bytes_per_block: float
+    bandwidth_derate: float = 1.0
+    fixed_overhead_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise WorkloadError(f"n_blocks must be >= 1, got {self.n_blocks}")
+        if self.core_cycles_per_block < 0:
+            raise WorkloadError("core_cycles_per_block must be non-negative")
+        if self.ld_bytes_per_block < 0 or self.st_bytes_per_block < 0:
+            raise WorkloadError("transfer volumes must be non-negative")
+        if self.bandwidth_derate <= 0:
+            raise WorkloadError(
+                f"bandwidth_derate must be positive: {self.bandwidth_derate}"
+            )
+        if self.fixed_overhead_us < 0:
+            raise WorkloadError("fixed_overhead_us must be non-negative")
+        validate_core_mix(self.core_mix_dict)
+
+    @property
+    def core_mix_dict(self) -> dict[Pipe, float]:
+        """The core pipe mix as a dictionary."""
+        return dict(self.core_mix)
+
+    @staticmethod
+    def make_mix(mix: Mapping[Pipe, float]) -> tuple[tuple[Pipe, float], ...]:
+        """Normalise a mapping into the hashable sorted-tuple mix format."""
+        validate_core_mix(dict(mix))
+        return tuple(
+            sorted(
+                ((pipe, float(frac)) for pipe, frac in mix.items() if frac > 0),
+                key=lambda item: item[0].value,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """A named operator, either compute (with a character) or fixed-time.
+
+    Attributes:
+        name: unique identifier within a workload, e.g.
+            ``"MatMul_b4096_4096x4096"``.
+        op_type: the operator family, e.g. ``"MatMul"`` or ``"Gelu"``.
+        kind: compute / AICPU / communication / idle.
+        compute: the ground-truth character; required iff ``kind`` is
+            ``COMPUTE``.
+        fixed_duration_us: wall time for non-compute operators, which do
+            not react to the AICore frequency.
+    """
+
+    name: str
+    op_type: str
+    kind: OperatorKind = OperatorKind.COMPUTE
+    compute: ComputeCharacter | None = None
+    fixed_duration_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("operator name must be non-empty")
+        if self.kind is OperatorKind.COMPUTE:
+            if self.compute is None:
+                raise WorkloadError(
+                    f"compute operator {self.name!r} needs a ComputeCharacter"
+                )
+        else:
+            if self.compute is not None:
+                raise WorkloadError(
+                    f"non-compute operator {self.name!r} must not carry a "
+                    "ComputeCharacter"
+                )
+            if self.fixed_duration_us <= 0:
+                raise WorkloadError(
+                    f"non-compute operator {self.name!r} needs a positive "
+                    "fixed duration"
+                )
+
+    @property
+    def is_compute(self) -> bool:
+        """Whether this operator executes on the AICore pipelines."""
+        return self.kind is OperatorKind.COMPUTE
+
+    def total_ld_bytes(self) -> float:
+        """Total move-in volume across all blocks (0 for non-compute)."""
+        if self.compute is None:
+            return 0.0
+        return self.compute.ld_bytes_per_block * self.compute.n_blocks
+
+    def total_st_bytes(self) -> float:
+        """Total move-out volume across all blocks (0 for non-compute)."""
+        if self.compute is None:
+            return 0.0
+        return self.compute.st_bytes_per_block * self.compute.n_blocks
+
+
+def make_fixed_operator(
+    name: str,
+    kind: OperatorKind,
+    duration_us: float,
+    op_type: str | None = None,
+) -> OperatorSpec:
+    """Convenience constructor for AICPU/communication/idle operators."""
+    if kind is OperatorKind.COMPUTE:
+        raise WorkloadError("use OperatorSpec directly for compute operators")
+    return OperatorSpec(
+        name=name,
+        op_type=op_type if op_type is not None else kind.value,
+        kind=kind,
+        compute=None,
+        fixed_duration_us=duration_us,
+    )

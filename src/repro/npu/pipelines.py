@@ -1,0 +1,83 @@
+"""Execution pipelines of the simulated AICore.
+
+The paper's classification (Sect. 6.1) keys off per-pipeline utilisation
+ratios from the CANN profiler.  We model the same pipeline set the Ascend
+toolchain exposes:
+
+* **Core-domain pipes** — ``CUBE`` (matrix engine), ``VECTOR`` (SIMD engine),
+  ``SCALAR`` (scalar unit), and ``MTE1`` (intra-AICore memory transfers,
+  e.g. L0/L1 moves).  These are clocked by the core frequency domain.
+* **Uncore-facing pipes** — ``MTE2`` carries loads (move-in from L2/HBM into
+  the core) and ``MTE3`` carries stores (move-out).  Their throughput is
+  bounded by both domains, per Eq. (1) of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Pipe(enum.Enum):
+    """A hardware pipeline visible to the profiler."""
+
+    CUBE = "cube"
+    VECTOR = "vector"
+    SCALAR = "scalar"
+    MTE1 = "mte1"
+    #: Load pipe: data move-in from the uncore domain (L2/HBM) to the core.
+    MTE2 = "mte2"
+    #: Store pipe: data move-out from the core to the uncore domain.
+    MTE3 = "mte3"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Pipes clocked by (and busy only inside) the core frequency domain.
+CORE_PIPES: frozenset[Pipe] = frozenset(
+    {Pipe.CUBE, Pipe.VECTOR, Pipe.SCALAR, Pipe.MTE1}
+)
+
+#: Pipes whose throughput involves the uncore domain (Ld and St).
+UNCORE_PIPES: frozenset[Pipe] = frozenset({Pipe.MTE2, Pipe.MTE3})
+
+#: Every pipe, in a stable presentation order.
+ALL_PIPES: tuple[Pipe, ...] = (
+    Pipe.CUBE,
+    Pipe.VECTOR,
+    Pipe.SCALAR,
+    Pipe.MTE1,
+    Pipe.MTE2,
+    Pipe.MTE3,
+)
+
+
+def is_core_pipe(pipe: Pipe) -> bool:
+    """True for pipes fully inside the core frequency domain."""
+    return pipe in CORE_PIPES
+
+
+def is_uncore_pipe(pipe: Pipe) -> bool:
+    """True for the load/store pipes crossing into the uncore domain."""
+    return pipe in UNCORE_PIPES
+
+
+def validate_core_mix(mix: dict[Pipe, float]) -> None:
+    """Validate a core-computation pipe mix (fractions of core cycles).
+
+    A mix assigns each core-domain pipe the fraction of a block's core
+    cycles it occupies; fractions must be non-negative and sum to 1.
+
+    Raises:
+        ValueError: on uncore pipes, negative fractions, or a bad sum.
+    """
+    if not mix:
+        raise ValueError("core pipe mix must not be empty")
+    for pipe, fraction in mix.items():
+        if pipe not in CORE_PIPES:
+            raise ValueError(f"{pipe} is not a core-domain pipe")
+        if fraction < 0:
+            raise ValueError(f"negative fraction {fraction} for {pipe}")
+    total = sum(mix.values())
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"core pipe mix must sum to 1, got {total}")

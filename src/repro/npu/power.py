@@ -1,0 +1,217 @@
+"""Ground-truth power physics of the simulated chip (paper Sect. 5.2).
+
+The chip's power follows Eq. (9)-(11):
+
+    P = alpha*f*V^2  +  beta*f*V^2  +  gamma*AT*V  +  theta*V
+        (load dynamic)  (idle dynamic)  (T-dep leakage) (T-indep leakage)
+
+The AICore's load-dependent ``alpha`` is not a single constant here: it is
+derived from per-pipe switching activity weighted by the pipe utilisation of
+the running operator, which is why the paper must fit a separate ``alpha``
+per operator.  The SoC adds three more components (Sect. 8.2: uncore power
+averages ~80% of the SoC):
+
+* core-coupled logic outside the AICore power rail (NoC, L2 interface),
+  which also scales with ``f*V^2``;
+* uncore idle power plus HBM/L2 dynamic power proportional to achieved
+  bandwidth utilisation; and
+* uncore leakage with its own temperature coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.npu.pipelines import ALL_PIPES, Pipe
+
+#: Frequency scale: power coefficients are expressed per GHz.
+_MHZ_PER_GHZ = 1000.0
+
+
+def _default_pipe_alpha() -> dict[Pipe, float]:
+    """Per-pipe load-power weights, in watts per (GHz * V^2) at 100% busy."""
+    return {
+        Pipe.CUBE: 23.5,
+        Pipe.VECTOR: 13.0,
+        Pipe.SCALAR: 5.0,
+        Pipe.MTE1: 6.0,
+        Pipe.MTE2: 15.0,
+        Pipe.MTE3: 13.0,
+    }
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Constants of the ground-truth power model.
+
+    AICore terms (Eq. 11, per the paper's notation):
+
+    Attributes:
+        pipe_alpha_w_per_ghz_v2: load-dependent weight of each pipe; the
+            operator's effective ``alpha`` is the utilisation-weighted sum.
+        beta_w_per_ghz_v2: AICore load-independent dynamic power (idle
+            clock tree, memory refresh, power management).
+        theta_w_per_v: AICore temperature-independent leakage.
+        gamma_aicore_w_per_c_v: AICore leakage-temperature slope ``gamma``.
+
+    SoC-side terms:
+
+    Attributes:
+        coupled_w_per_ghz_v2: core-domain logic outside the AICore rail.
+        uncore_idle_watts: uncore power floor (HBM refresh, buses, AICPU).
+        uncore_dynamic_fraction: fraction of the uncore floor that is
+            clock-tree/dynamic power and would scale with an uncore
+            frequency, if the hardware could tune one (Sect. 8.2).
+        uncore_bandwidth_watts: additional uncore dynamic power at 100%
+            bandwidth utilisation.
+        gamma_uncore_w_per_c_v: uncore leakage-temperature slope.
+        uncore_volts: fixed uncore supply voltage.
+    """
+
+    pipe_alpha_w_per_ghz_v2: Mapping[Pipe, float] = field(
+        default_factory=_default_pipe_alpha
+    )
+    beta_w_per_ghz_v2: float = 2.2
+    theta_w_per_v: float = 5.5
+    gamma_aicore_w_per_c_v: float = 0.18
+    coupled_w_per_ghz_v2: float = 6.0
+    uncore_idle_watts: float = 170.0
+    uncore_dynamic_fraction: float = 0.55
+    uncore_bandwidth_watts: float = 40.0
+    gamma_uncore_w_per_c_v: float = 0.35
+    uncore_volts: float = 0.75
+
+    def __post_init__(self) -> None:
+        for pipe in ALL_PIPES:
+            if pipe not in self.pipe_alpha_w_per_ghz_v2:
+                raise ConfigurationError(f"missing alpha weight for pipe {pipe}")
+            if self.pipe_alpha_w_per_ghz_v2[pipe] < 0:
+                raise ConfigurationError(f"negative alpha weight for pipe {pipe}")
+        for name in (
+            "beta_w_per_ghz_v2",
+            "theta_w_per_v",
+            "gamma_aicore_w_per_c_v",
+            "coupled_w_per_ghz_v2",
+            "uncore_idle_watts",
+            "uncore_bandwidth_watts",
+            "gamma_uncore_w_per_c_v",
+            "uncore_volts",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if not 0.0 <= self.uncore_dynamic_fraction <= 1.0:
+            raise ConfigurationError(
+                f"uncore_dynamic_fraction must be in [0, 1]: "
+                f"{self.uncore_dynamic_fraction}"
+            )
+
+    def effective_alpha(self, pipe_utilisation: Mapping[Pipe, float]) -> float:
+        """Operator ``alpha``: utilisation-weighted sum of pipe weights."""
+        alpha = 0.0
+        for pipe, util in pipe_utilisation.items():
+            if util < 0:
+                raise ConfigurationError(f"negative utilisation for {pipe}: {util}")
+            alpha += self.pipe_alpha_w_per_ghz_v2[pipe] * min(util, 1.0)
+        return alpha
+
+    def aicore_active_power(
+        self, alpha: float, freq_mhz: float, volts: float
+    ) -> float:
+        """Load-dependent AICore power ``alpha * f * V^2``."""
+        return alpha * (freq_mhz / _MHZ_PER_GHZ) * volts * volts
+
+    def aicore_idle_power(self, freq_mhz: float, volts: float) -> float:
+        """Load-independent AICore power ``beta*f*V^2 + theta*V`` — Eq. (12)."""
+        f_ghz = freq_mhz / _MHZ_PER_GHZ
+        return self.beta_w_per_ghz_v2 * f_ghz * volts * volts + (
+            self.theta_w_per_v * volts
+        )
+
+    def aicore_thermal_power(self, delta_celsius: float, volts: float) -> float:
+        """Temperature-dependent AICore leakage ``gamma * AT * V``."""
+        return self.gamma_aicore_w_per_c_v * delta_celsius * volts
+
+    def aicore_power(
+        self,
+        pipe_utilisation: Mapping[Pipe, float],
+        freq_mhz: float,
+        volts: float,
+        delta_celsius: float,
+    ) -> float:
+        """Total AICore power for an operator — Eq. (11)."""
+        alpha = self.effective_alpha(pipe_utilisation)
+        return (
+            self.aicore_active_power(alpha, freq_mhz, volts)
+            + self.aicore_idle_power(freq_mhz, volts)
+            + self.aicore_thermal_power(delta_celsius, volts)
+        )
+
+    def coupled_power(self, freq_mhz: float, volts: float) -> float:
+        """Core-domain-but-not-AICore power (NoC, L2 interfaces)."""
+        return self.coupled_w_per_ghz_v2 * (freq_mhz / _MHZ_PER_GHZ) * volts * volts
+
+    def uncore_power(
+        self, bandwidth_utilisation: float, delta_celsius: float
+    ) -> float:
+        """Uncore power: idle floor + bandwidth dynamic + leakage."""
+        if bandwidth_utilisation < 0:
+            raise ConfigurationError(
+                f"bandwidth utilisation must be non-negative: {bandwidth_utilisation}"
+            )
+        util = min(bandwidth_utilisation, 1.0)
+        return (
+            self.uncore_idle_watts
+            + self.uncore_bandwidth_watts * util
+            + self.gamma_uncore_w_per_c_v * delta_celsius * self.uncore_volts
+        )
+
+    def soc_power(
+        self,
+        pipe_utilisation: Mapping[Pipe, float],
+        freq_mhz: float,
+        volts: float,
+        delta_celsius: float,
+        bandwidth_utilisation: float,
+    ) -> float:
+        """Total SoC power: AICore + coupled core logic + uncore."""
+        return (
+            self.aicore_power(pipe_utilisation, freq_mhz, volts, delta_celsius)
+            + self.coupled_power(freq_mhz, volts)
+            + self.uncore_power(bandwidth_utilisation, delta_celsius)
+        )
+
+    def thermal_feedback_gain(self, volts: float) -> float:
+        """Watts of extra leakage per degree of temperature rise.
+
+        Used to solve the power/temperature equilibrium analytically:
+        ``dP/dAT = gamma_core * V + gamma_uncore * V_uncore``.
+        """
+        return (
+            self.gamma_aicore_w_per_c_v * volts
+            + self.gamma_uncore_w_per_c_v * self.uncore_volts
+        )
+
+
+def solve_equilibrium_power(
+    base_power_watts: float,
+    feedback_gain_w_per_c: float,
+    celsius_per_watt: float,
+) -> tuple[float, float]:
+    """Solve ``P = P_base + g * AT`` with ``AT = k * P`` exactly.
+
+    Returns:
+        ``(power_watts, delta_celsius)`` at the fixed point.
+
+    Raises:
+        ConfigurationError: if the thermal feedback loop gain ``g * k``
+            reaches 1 (thermal runaway; no equilibrium exists).
+    """
+    loop_gain = feedback_gain_w_per_c * celsius_per_watt
+    if loop_gain >= 1.0:
+        raise ConfigurationError(
+            f"thermal runaway: loop gain {loop_gain:.3f} >= 1"
+        )
+    power = base_power_watts / (1.0 - loop_gain)
+    return power, celsius_per_watt * power

@@ -1,0 +1,183 @@
+"""Software substitute for the CANN profiler.
+
+On real hardware the paper collects per-operator execution times and
+pipeline-utilisation ratios with the CANN profiler.  Here the profiler
+observes an :class:`ExecutionResult` from the simulated device and reports
+the same information, with realistic measurement noise:
+
+* durations get multiplicative Gaussian noise (profiler timestamp jitter);
+* pipe ratios get small additive noise, clipped to [0, 1].
+
+Deliberately mirroring the paper's PMU limitation (Sect. 4.3), the profiler
+reports only *aggregate* per-pipe busy ratios — never the distribution of
+stalls within an operator — so model construction must fit functions rather
+than solve for the piecewise-linear breakpoints directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.npu.device import ExecutionResult
+from repro.npu.pipelines import Pipe
+from repro.npu.spec import NpuSpec
+from repro.npu.operators import OperatorKind
+
+#: The paper excludes operators shorter than this from model fitting: they
+#: are highly variable yet contribute ~0.9% of total execution time.
+SHORT_OPERATOR_CUTOFF_US = 20.0
+
+
+@dataclass(frozen=True)
+class ProfiledOperator:
+    """One operator instance as seen by the profiler."""
+
+    index: int
+    name: str
+    op_type: str
+    kind: OperatorKind
+    start_us: float
+    duration_us: float
+    gap_before_us: float
+    freq_mhz: float
+    ratios: Mapping[Pipe, float]
+    straddled_switch: bool
+
+    def max_ratio(self) -> tuple[Pipe | None, float]:
+        """Busiest pipe and its ratio."""
+        if not self.ratios:
+            return None, 0.0
+        pipe = max(self.ratios, key=lambda p: self.ratios[p])
+        return pipe, self.ratios[pipe]
+
+    def ratio_sum(self) -> float:
+        """Sum of all pipe ratios."""
+        return float(sum(self.ratios.values()))
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """A full profiling pass over one executed iteration."""
+
+    trace_name: str
+    freq_label_mhz: float
+    operators: tuple[ProfiledOperator, ...]
+    total_duration_us: float
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def compute_operators(self) -> list[ProfiledOperator]:
+        """Only the operators that run on AICore pipelines."""
+        return [op for op in self.operators if op.kind is OperatorKind.COMPUTE]
+
+    def significant_operators(
+        self, cutoff_us: float = SHORT_OPERATOR_CUTOFF_US
+    ) -> list[ProfiledOperator]:
+        """Compute operators at or above the duration cutoff (Sect. 7.2)."""
+        return [
+            op for op in self.compute_operators() if op.duration_us >= cutoff_us
+        ]
+
+    def durations_by_name(self) -> dict[str, float]:
+        """Mean measured duration per operator name."""
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for op in self.operators:
+            sums[op.name] = sums.get(op.name, 0.0) + op.duration_us
+            counts[op.name] = counts.get(op.name, 0) + 1
+        return {name: sums[name] / counts[name] for name in sums}
+
+    def first_by_name(self) -> dict[str, ProfiledOperator]:
+        """First profiled instance per operator name."""
+        first: dict[str, ProfiledOperator] = {}
+        for op in self.operators:
+            first.setdefault(op.name, op)
+        return first
+
+
+class CannStyleProfiler:
+    """Generates :class:`ProfileReport` objects from device executions."""
+
+    def __init__(self, npu: NpuSpec, rng: np.random.Generator) -> None:
+        self._npu = npu
+        self._rng = rng
+
+    def profile(self, result: ExecutionResult) -> ProfileReport:
+        """Observe one execution and report noisy per-operator data.
+
+        Raises:
+            ProfilingError: if the execution produced no operator records.
+        """
+        if not result.records:
+            raise ProfilingError(
+                f"execution of {result.trace_name!r} has no operator records"
+            )
+        noise = self._npu.noise
+        profiled: list[ProfiledOperator] = []
+        previous_end = 0.0
+        for record in result.records:
+            true_duration = record.duration_us
+            duration = true_duration * self._duration_factor(noise.duration_sigma)
+            ratios = self._noisy_ratios(
+                record.evaluation.utilisation, noise.utilisation_sigma
+            )
+            profiled.append(
+                ProfiledOperator(
+                    index=record.index,
+                    name=record.evaluation.spec.name,
+                    op_type=record.evaluation.spec.op_type,
+                    kind=record.evaluation.spec.kind,
+                    start_us=record.start_us,
+                    duration_us=duration,
+                    gap_before_us=max(0.0, record.start_us - previous_end),
+                    freq_mhz=record.start_freq_mhz,
+                    ratios=ratios,
+                    straddled_switch=record.straddled_switch,
+                )
+            )
+            previous_end = record.end_us
+        return ProfileReport(
+            trace_name=result.trace_name,
+            freq_label_mhz=result.records[0].start_freq_mhz,
+            operators=tuple(profiled),
+            total_duration_us=result.duration_us,
+        )
+
+    def _duration_factor(self, sigma: float) -> float:
+        if sigma <= 0:
+            return 1.0
+        return float(max(0.5, 1.0 + self._rng.normal(0.0, sigma)))
+
+    def _noisy_ratios(
+        self, utilisation: Mapping[Pipe, float], sigma: float
+    ) -> dict[Pipe, float]:
+        ratios: dict[Pipe, float] = {}
+        for pipe, value in utilisation.items():
+            noisy = value if sigma <= 0 else value + self._rng.normal(0.0, sigma)
+            ratios[pipe] = float(min(1.0, max(0.0, noisy)))
+        return ratios
+
+
+def merge_reports(reports: Iterable[ProfileReport]) -> list[ProfileReport]:
+    """Validate that reports cover distinct frequencies and sort by frequency.
+
+    Model fitting expects one report per frequency point for the same trace.
+
+    Raises:
+        ProfilingError: on duplicate frequencies or mixed traces.
+    """
+    ordered = sorted(reports, key=lambda r: r.freq_label_mhz)
+    if not ordered:
+        raise ProfilingError("no profile reports given")
+    names = {report.trace_name for report in ordered}
+    if len(names) > 1:
+        raise ProfilingError(f"reports mix traces: {sorted(names)}")
+    freqs = [report.freq_label_mhz for report in ordered]
+    if len(set(freqs)) != len(freqs):
+        raise ProfilingError(f"duplicate frequency reports: {freqs}")
+    return ordered

@@ -1,0 +1,116 @@
+"""Ready-made accelerator profiles.
+
+The default profile is the calibrated Ascend-like NPU the reproduction is
+built around (:func:`repro.npu.spec.default_npu_spec`).  This module adds
+alternative profiles exercising the Sect. 8.3 generalisation claim — the
+whole pipeline runs unmodified against any of them.  All profiles pass
+:func:`repro.npu.validation.validate_spec`.
+"""
+
+from __future__ import annotations
+
+from repro.npu.frequency import FrequencyGrid
+from repro.npu.memory import MemoryHierarchy
+from repro.npu.power import PowerSpec
+from repro.npu.spec import NpuSpec, SetFreqSpec
+from repro.npu.thermal import ThermalSpec
+from repro.npu.voltage import VoltageCurve
+from repro.units import ms_to_us
+
+
+def gpu_v100_like_spec() -> NpuSpec:
+    """A data-center-GPU-flavoured accelerator.
+
+    Wider frequency range (810-1410 MHz in 75 MHz steps), more/narrower
+    cores, slightly lower bandwidth, a bigger idle envelope, and — the
+    paper's headline V100 observation — a ~15 ms frequency-control
+    latency instead of 1 ms.
+    """
+    return NpuSpec(
+        name="gpu-sim-v100ish",
+        frequencies=FrequencyGrid(min_mhz=810.0, max_mhz=1410.0, step_mhz=75.0),
+        voltage=VoltageCurve(
+            flat_volts=0.75, knee_mhz=1000.0, slope_volts_per_mhz=0.00045
+        ),
+        memory=MemoryHierarchy(
+            core_count=80,
+            bytes_per_cycle_per_core=16.0,
+            uncore_bandwidth_gbps=900.0,
+            transfer_overhead_us=0.08,
+        ),
+        power=PowerSpec(
+            beta_w_per_ghz_v2=6.0,
+            theta_w_per_v=14.0,
+            coupled_w_per_ghz_v2=10.0,
+            uncore_idle_watts=110.0,
+            uncore_bandwidth_watts=70.0,
+        ),
+        thermal=ThermalSpec(celsius_per_watt=0.12),
+        setfreq=SetFreqSpec(latency_us=ms_to_us(15.0)),
+    )
+
+
+def edge_npu_spec() -> NpuSpec:
+    """A small edge-inference accelerator.
+
+    A narrow, low-voltage frequency range (400-800 MHz), few cores, modest
+    LPDDR-class bandwidth, a tiny power envelope, and aggressive thermal
+    coupling (passive cooling) — the regime where the thermal term of the
+    power model matters most.
+    """
+    return NpuSpec(
+        name="edge-npu-sim",
+        frequencies=FrequencyGrid(min_mhz=400.0, max_mhz=800.0, step_mhz=50.0),
+        voltage=VoltageCurve(
+            flat_volts=0.62, knee_mhz=550.0, slope_volts_per_mhz=0.0006
+        ),
+        memory=MemoryHierarchy(
+            core_count=2,
+            bytes_per_cycle_per_core=32.0,
+            uncore_bandwidth_gbps=34.0,
+            transfer_overhead_us=0.2,
+        ),
+        power=PowerSpec(
+            pipe_alpha_w_per_ghz_v2={
+                pipe: weight / 12.0
+                for pipe, weight in PowerSpec().pipe_alpha_w_per_ghz_v2.items()
+            },
+            beta_w_per_ghz_v2=0.4,
+            theta_w_per_v=0.8,
+            gamma_aicore_w_per_c_v=0.03,
+            coupled_w_per_ghz_v2=0.5,
+            uncore_idle_watts=2.5,
+            uncore_bandwidth_watts=1.8,
+            gamma_uncore_w_per_c_v=0.05,
+            uncore_volts=0.6,
+        ),
+        thermal=ThermalSpec(
+            ambient_celsius=30.0,
+            celsius_per_watt=4.0,
+            time_constant_us=8_000_000.0,
+        ),
+        setfreq=SetFreqSpec(latency_us=ms_to_us(2.0)),
+    )
+
+
+#: All shipped profiles, by name.
+PROFILES = {
+    "ascend-sim-910": None,  # the default; resolved lazily to avoid cycles
+    "gpu-sim-v100ish": gpu_v100_like_spec,
+    "edge-npu-sim": edge_npu_spec,
+}
+
+
+def get_profile(name: str) -> NpuSpec:
+    """Look up a shipped profile by name.
+
+    Raises:
+        KeyError: for unknown profile names.
+    """
+    if name == "ascend-sim-910":
+        from repro.npu.spec import default_npu_spec
+
+        return default_npu_spec()
+    factory = PROFILES[name]
+    assert factory is not None
+    return factory()

@@ -1,0 +1,269 @@
+"""Frequency-setting commands and the resulting frequency timeline.
+
+Ascend CANN's ``SetFreq`` operator changes the core frequency within ~1 ms
+(Sect. 7.1).  A DVFS strategy compiles into a sequence of
+:class:`SetFreqCommand` dispatches on a dedicated stream; after each
+command's latency elapses, the new frequency takes effect.  The resulting
+step function of time is a :class:`FrequencyTimeline`, which the device
+consults while integrating operator execution.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import StrategyError
+from repro.npu.frequency import FrequencyGrid
+from repro.npu.spec import SetFreqSpec
+
+
+@dataclass(frozen=True)
+class SetFreqCommand:
+    """A SetFreq dispatch: at ``dispatch_time_us``, request ``target_mhz``."""
+
+    dispatch_time_us: float
+    target_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.dispatch_time_us < 0:
+            raise StrategyError(
+                f"dispatch time must be non-negative: {self.dispatch_time_us}"
+            )
+
+    def effect_time_us(self, setfreq: SetFreqSpec) -> float:
+        """When the new frequency takes effect under the given latency."""
+        return self.dispatch_time_us + setfreq.total_latency_us
+
+
+@dataclass(frozen=True)
+class FrequencySwitch:
+    """A frequency change taking effect at ``time_us``."""
+
+    time_us: float
+    freq_mhz: float
+
+
+class FrequencyTimeline:
+    """Core frequency as a step function of time.
+
+    Switches are sorted by effect time; when two switches share an effect
+    time the later-dispatched one wins (matching hardware, where the last
+    write to the frequency register sticks).
+    """
+
+    def __init__(
+        self, initial_mhz: float, switches: tuple[FrequencySwitch, ...] = ()
+    ) -> None:
+        self._initial = float(initial_mhz)
+        ordered = sorted(switches, key=lambda s: s.time_us)
+        # Collapse switches that share an effect time: the last one wins.
+        collapsed: list[FrequencySwitch] = []
+        for switch in ordered:
+            if collapsed and collapsed[-1].time_us == switch.time_us:
+                collapsed[-1] = switch
+            else:
+                collapsed.append(switch)
+        self._switches = tuple(collapsed)
+        self._times = [s.time_us for s in self._switches]
+
+    @classmethod
+    def constant(cls, freq_mhz: float) -> "FrequencyTimeline":
+        """A timeline that never changes frequency."""
+        return cls(initial_mhz=freq_mhz)
+
+    @classmethod
+    def from_commands(
+        cls,
+        initial_mhz: float,
+        commands: tuple[SetFreqCommand, ...] | list[SetFreqCommand],
+        setfreq: SetFreqSpec,
+        grid: FrequencyGrid | None = None,
+    ) -> "FrequencyTimeline":
+        """Compile SetFreq dispatches into a timeline under a latency spec.
+
+        Args:
+            initial_mhz: frequency in effect at time zero.
+            commands: dispatches, in any order.
+            setfreq: latency characteristics (base + extra delay).
+            grid: optional grid to validate all targets against.
+        """
+        if grid is not None:
+            grid.validate(initial_mhz)
+            for command in commands:
+                grid.validate(command.target_mhz)
+        switches = tuple(
+            FrequencySwitch(
+                time_us=command.effect_time_us(setfreq),
+                freq_mhz=command.target_mhz,
+            )
+            for command in sorted(commands, key=lambda c: c.dispatch_time_us)
+        )
+        return cls(initial_mhz=initial_mhz, switches=switches)
+
+    @property
+    def initial_mhz(self) -> float:
+        """Frequency in effect at time zero."""
+        return self._initial
+
+    @property
+    def switches(self) -> tuple[FrequencySwitch, ...]:
+        """All effective switches, sorted by effect time."""
+        return self._switches
+
+    @property
+    def switch_count(self) -> int:
+        """Number of effective frequency changes."""
+        return len(self._switches)
+
+    def frequency_at(self, time_us: float) -> float:
+        """Frequency in effect at ``time_us`` (switch times are inclusive)."""
+        idx = bisect.bisect_right(self._times, time_us)
+        if idx == 0:
+            return self._initial
+        return self._switches[idx - 1].freq_mhz
+
+    def next_switch_after(self, time_us: float) -> FrequencySwitch | None:
+        """The first switch strictly after ``time_us``, or None."""
+        idx = bisect.bisect_right(self._times, time_us)
+        if idx >= len(self._switches):
+            return None
+        return self._switches[idx]
+
+    def distinct_frequencies(self) -> set[float]:
+        """All frequencies the timeline ever settles on."""
+        return {self._initial, *(s.freq_mhz for s in self._switches)}
+
+    def on_op_start(self, op_index: int, time_us: float) -> None:
+        """No-op: a wall-clock timeline ignores operator boundaries."""
+
+
+@dataclass(frozen=True)
+class AnchoredSwitch:
+    """A frequency change anchored to an operator index.
+
+    The paper's executor (Sect. 7.1, Fig. 14) dispatches SetFreq one
+    latency ahead of the intended change point and uses Event Record/Wait
+    between the compute and SetFreq streams, so the change takes effect
+    exactly when the anchor operator starts — even when earlier frequency
+    changes have shifted the wall-clock timeline.
+    """
+
+    op_index: int
+    freq_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.op_index < 0:
+            raise StrategyError(f"op_index must be >= 0: {self.op_index}")
+
+
+class AnchoredFrequencyPlan:
+    """Frequency control anchored to operator starts.
+
+    With zero extra delay, each switch takes effect exactly at its anchor
+    operator's start (the event-synchronised behaviour of Fig. 14).  With
+    an extra hardware delay (the V100 comparison of Fig. 18), the change
+    lands ``extra_delay_us`` *after* the anchor starts — the planner
+    dispatched SetFreq expecting the documented latency, and the slow
+    hardware misses the intended point.
+
+    The plan is stateful across one execution; the device calls
+    :meth:`on_op_start` as it dispatches operators.  Use :meth:`reset`
+    (the device does) before reuse.
+    """
+
+    def __init__(
+        self,
+        initial_mhz: float,
+        anchors: tuple[AnchoredSwitch, ...] | list[AnchoredSwitch],
+        extra_delay_us: float = 0.0,
+    ) -> None:
+        if extra_delay_us < 0:
+            raise StrategyError(f"extra delay must be >= 0: {extra_delay_us}")
+        by_index: dict[int, float] = {}
+        for anchor in anchors:
+            by_index[anchor.op_index] = anchor.freq_mhz
+        self._initial = float(initial_mhz)
+        self._anchors = by_index
+        self._extra_delay = float(extra_delay_us)
+        self._current = self._initial
+        self._pending: list[FrequencySwitch] = []
+        self._queued: float | None = None
+        self._applied_switches = 0
+        self._dropped_switches = 0
+
+    @property
+    def initial_mhz(self) -> float:
+        """Frequency in effect at time zero."""
+        return self._initial
+
+    @property
+    def switch_count(self) -> int:
+        """Number of anchored switches in the plan."""
+        return len(self._anchors)
+
+    @property
+    def applied_switch_count(self) -> int:
+        """Switches that have taken effect so far in this execution."""
+        return self._applied_switches
+
+    @property
+    def dropped_switch_count(self) -> int:
+        """Requests superseded while waiting for a busy controller."""
+        return self._dropped_switches
+
+    def reset(self) -> None:
+        """Prepare the plan for a fresh execution."""
+        self._current = self._initial
+        self._pending = []
+        self._queued = None
+        self._applied_switches = 0
+        self._dropped_switches = 0
+
+    def on_op_start(self, op_index: int, time_us: float) -> None:
+        """Notify the plan that operator ``op_index`` starts at ``time_us``.
+
+        With an extra hardware delay, the frequency-control interface is
+        *busy* while a change is in flight (slow controllers like the
+        V100's clock API serialise requests).  A request arriving while
+        busy is held in a depth-one queue; a newer request replaces the
+        held one (it is superseded).  This is what erodes fine-grained
+        strategies on slow hardware: short LFC windows either land late or
+        are skipped entirely, while the chip still converges to the latest
+        requested frequency (Fig. 18).
+        """
+        freq = self._anchors.get(op_index)
+        if freq is None:
+            return
+        if self._extra_delay > 0 and self._pending:
+            if self._queued is not None:
+                self._dropped_switches += 1
+            self._queued = freq
+            return
+        effect_us = time_us + self._extra_delay
+        self._pending.append(FrequencySwitch(time_us=effect_us, freq_mhz=freq))
+        self._pending.sort(key=lambda s: s.time_us)
+
+    def frequency_at(self, time_us: float) -> float:
+        """Frequency in effect at ``time_us`` (consumes due switches)."""
+        while self._pending and self._pending[0].time_us <= time_us:
+            completed = self._pending.pop(0)
+            self._current = completed.freq_mhz
+            self._applied_switches += 1
+            if self._queued is not None:
+                # The controller is free again: issue the held request.
+                self._pending.append(
+                    FrequencySwitch(
+                        time_us=completed.time_us + self._extra_delay,
+                        freq_mhz=self._queued,
+                    )
+                )
+                self._queued = None
+        return self._current
+
+    def next_switch_after(self, time_us: float) -> FrequencySwitch | None:
+        """The first pending switch strictly after ``time_us``, or None."""
+        for switch in self._pending:
+            if switch.time_us > time_us:
+                return switch
+        return None

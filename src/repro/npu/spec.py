@@ -1,0 +1,179 @@
+"""Top-level hardware description of the simulated NPU.
+
+:class:`NpuSpec` bundles the frequency grid, the voltage curve, the memory
+hierarchy, the power constants, the thermal constants, and the SetFreq
+characteristics into one immutable object that the device, the profiler and
+every experiment share.  :func:`default_npu_spec` returns the calibrated
+configuration used throughout the reproduction (constants documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.npu.frequency import FrequencyGrid
+from repro.npu.memory import MemoryHierarchy
+from repro.npu.power import PowerSpec
+from repro.npu.thermal import ThermalSpec
+from repro.npu.voltage import VoltageCurve
+from repro.units import ms_to_us
+
+
+@dataclass(frozen=True)
+class SetFreqSpec:
+    """Characteristics of the fast frequency-setting operator (Sect. 7.1).
+
+    Attributes:
+        latency_us: time from dispatching SetFreq to the new frequency
+            taking effect (1 ms on the Ascend NPU).
+        extra_delay_us: additional delay applied on top of the base
+            latency; Fig. 18 simulates the NVIDIA V100's ~15 ms control
+            delay by adding 14 ms here.
+    """
+
+    latency_us: float = ms_to_us(1.0)
+    extra_delay_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0 or self.extra_delay_us < 0:
+            raise ConfigurationError("SetFreq delays must be non-negative")
+
+    @property
+    def total_latency_us(self) -> float:
+        """Effective dispatch-to-effect latency."""
+        return self.latency_us + self.extra_delay_us
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Measurement-noise levels of the software 'instruments'.
+
+    These model the jitter of the CANN profiler and lpmi_tool readings;
+    they are multiplicative sigmas (0.015 = 1.5%).  Set all to zero for an
+    idealised noise-free instrument (useful in tests).
+    """
+
+    duration_sigma: float = 0.01
+    power_sigma: float = 0.03
+    temperature_sigma_celsius: float = 0.4
+    utilisation_sigma: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in (
+            "duration_sigma",
+            "power_sigma",
+            "temperature_sigma_celsius",
+            "utilisation_sigma",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class NpuSpec:
+    """Complete description of one simulated NPU model."""
+
+    name: str = "ascend-sim-910"
+    frequencies: FrequencyGrid = field(default_factory=FrequencyGrid)
+    voltage: VoltageCurve = field(default_factory=VoltageCurve)
+    memory: MemoryHierarchy = field(default_factory=MemoryHierarchy)
+    power: PowerSpec = field(default_factory=PowerSpec)
+    thermal: ThermalSpec = field(default_factory=ThermalSpec)
+    setfreq: SetFreqSpec = field(default_factory=SetFreqSpec)
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+
+    def volts_at(self, freq_mhz: float) -> float:
+        """Supply voltage at a validated grid frequency."""
+        self.frequencies.validate(freq_mhz)
+        return float(self.voltage.volts(freq_mhz))
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """The performance-baseline frequency (highest grid point)."""
+        return self.frequencies.max_mhz
+
+    @property
+    def min_frequency_mhz(self) -> float:
+        """The lowest supported core frequency."""
+        return self.frequencies.min_mhz
+
+    def with_setfreq(self, setfreq: SetFreqSpec) -> "NpuSpec":
+        """A copy of this spec with different SetFreq characteristics."""
+        return NpuSpec(
+            name=self.name,
+            frequencies=self.frequencies,
+            voltage=self.voltage,
+            memory=self.memory,
+            power=self.power,
+            thermal=self.thermal,
+            setfreq=setfreq,
+            noise=self.noise,
+        )
+
+    def with_uncore_frequency(self, scale: float) -> "NpuSpec":
+        """A hypothetical NPU whose uncore domain is clocked at ``scale``.
+
+        Sect. 8.2's future work: current Ascend hardware cannot tune the
+        uncore (L2/HBM) frequency.  This constructor models the chip that
+        could — the effective uncore bandwidth and the dynamic share of
+        uncore power scale together with the uncore clock (voltage held,
+        as no uncore V-f curve is published).
+        """
+        from dataclasses import replace as _replace
+
+        if scale <= 0:
+            raise ConfigurationError(f"uncore scale must be positive: {scale}")
+        memory = _replace(
+            self.memory,
+            uncore_bandwidth_gbps=self.memory.uncore_bandwidth_gbps * scale,
+        )
+        dynamic = self.power.uncore_dynamic_fraction
+        power = _replace(
+            self.power,
+            uncore_idle_watts=self.power.uncore_idle_watts
+            * (1.0 - dynamic + dynamic * scale),
+            uncore_bandwidth_watts=self.power.uncore_bandwidth_watts * scale,
+        )
+        return NpuSpec(
+            name=f"{self.name}-uncore{scale:g}",
+            frequencies=self.frequencies,
+            voltage=self.voltage,
+            memory=memory,
+            power=power,
+            thermal=self.thermal,
+            setfreq=self.setfreq,
+            noise=self.noise,
+        )
+
+    def with_noise(self, noise: NoiseSpec) -> "NpuSpec":
+        """A copy of this spec with different measurement-noise levels."""
+        return NpuSpec(
+            name=self.name,
+            frequencies=self.frequencies,
+            voltage=self.voltage,
+            memory=self.memory,
+            power=self.power,
+            thermal=self.thermal,
+            setfreq=self.setfreq,
+            noise=noise,
+        )
+
+
+def default_npu_spec() -> NpuSpec:
+    """The calibrated Ascend-like NPU used across the reproduction."""
+    return NpuSpec()
+
+
+def noise_free_spec() -> NpuSpec:
+    """An idealised NPU whose instruments report exact values."""
+    return NpuSpec(
+        name="ascend-sim-910-ideal",
+        noise=NoiseSpec(
+            duration_sigma=0.0,
+            power_sigma=0.0,
+            temperature_sigma_celsius=0.0,
+            utilisation_sigma=0.0,
+        ),
+    )

@@ -1,0 +1,110 @@
+"""Thermal model of the simulated chip (paper Sect. 5.4.2, Fig. 10).
+
+Two behaviours from the paper are captured:
+
+* **Equilibrium**: AICore temperature correlates linearly with SoC power,
+  ``T = T0 + k * P_soc`` (Eq. 15, measured in Fig. 10).
+* **Transient**: after a load completes, temperature and power decay
+  *gradually*, not instantaneously — this is what lets the calibration
+  extract the leakage-temperature coefficient ``gamma`` from cooldown
+  samples.  We model a first-order RC response with time constant ``tau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Constants of the thermal model.
+
+    Attributes:
+        ambient_celsius: ``T0``, the ambient (and idle-chip) temperature.
+        celsius_per_watt: ``k`` of Eq. (15), the equilibrium slope of chip
+            temperature over SoC power.
+        time_constant_us: RC time constant of the transient response, in
+            microseconds (tens of seconds on real hardware).
+    """
+
+    ambient_celsius: float = 25.0
+    celsius_per_watt: float = 0.14
+    time_constant_us: float = 25_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.celsius_per_watt <= 0:
+            raise ConfigurationError(
+                f"celsius_per_watt must be positive: {self.celsius_per_watt}"
+            )
+        if self.time_constant_us <= 0:
+            raise ConfigurationError(
+                f"time constant must be positive: {self.time_constant_us}"
+            )
+
+    def equilibrium_celsius(self, soc_power_watts: float) -> float:
+        """Steady-state chip temperature under ``soc_power_watts`` — Eq. (15)."""
+        if soc_power_watts < 0:
+            raise ConfigurationError(f"power must be non-negative: {soc_power_watts}")
+        return self.ambient_celsius + self.celsius_per_watt * soc_power_watts
+
+    def equilibrium_delta(self, soc_power_watts: float) -> float:
+        """Steady-state temperature rise ``AT = k * P_soc`` above ambient."""
+        return self.equilibrium_celsius(soc_power_watts) - self.ambient_celsius
+
+
+class ThermalState:
+    """Mutable chip temperature evolving under a power trace.
+
+    The state advances with the exact solution of the first-order ODE
+    ``dT/dt = (T_eq(P) - T) / tau`` over each constant-power interval, so
+    step size does not affect accuracy.
+    """
+
+    def __init__(self, spec: ThermalSpec, initial_celsius: float | None = None):
+        self._spec = spec
+        self._celsius = (
+            spec.ambient_celsius if initial_celsius is None else float(initial_celsius)
+        )
+
+    @property
+    def spec(self) -> ThermalSpec:
+        """The immutable thermal constants."""
+        return self._spec
+
+    @property
+    def celsius(self) -> float:
+        """Current chip temperature."""
+        return self._celsius
+
+    @property
+    def delta_celsius(self) -> float:
+        """Current temperature rise ``AT`` above ambient."""
+        return self._celsius - self._spec.ambient_celsius
+
+    def advance(self, soc_power_watts: float, duration_us: float) -> float:
+        """Advance the temperature under constant power for ``duration_us``.
+
+        Returns:
+            The temperature at the end of the interval.
+        """
+        if duration_us < 0:
+            raise ConfigurationError(f"duration must be non-negative: {duration_us}")
+        target = self._spec.equilibrium_celsius(soc_power_watts)
+        decay = float(np.exp(-duration_us / self._spec.time_constant_us))
+        self._celsius = target + (self._celsius - target) * decay
+        return self._celsius
+
+    def settle(self, soc_power_watts: float) -> float:
+        """Jump directly to the equilibrium temperature for a power level."""
+        self._celsius = self._spec.equilibrium_celsius(soc_power_watts)
+        return self._celsius
+
+    def reset(self, celsius: float | None = None) -> None:
+        """Reset to ambient (or an explicit temperature)."""
+        self._celsius = (
+            self._spec.ambient_celsius if celsius is None else float(celsius)
+        )

@@ -1,0 +1,331 @@
+"""Operator execution timelines (paper Sect. 4.2, Figs. 5-8).
+
+The paper classifies operator execution into four scenarios along two axes:
+whether the operator uses *PingPong* (double buffering, overlapping data
+movement with computation) and whether its load and store streams are
+*dependent* (cannot be processed simultaneously).  Each scenario yields a
+closed-form cycle count — Eqs. (5)-(8) — that is a convex piecewise-linear
+function of core frequency.
+
+This module provides both:
+
+* :func:`closed_form_cycles` — the paper's equations, evaluated directly;
+* :func:`build_timeline` — an explicit schedule of pipe segments matching
+  the corresponding figure, from which the PMU derives per-pipe busy cycles
+  and stall breakdowns.
+
+The two agree exactly on total cycles by construction; a property test
+asserts this for randomly drawn operators.
+
+A note on Eq. (8): the published text garbles its leading coefficient.  The
+trailing ``n * T0 * f`` term (half of the serial case's ``2n * T0 * f``)
+identifies it as ``n/2`` — double buffering overlaps the two buffers'
+dependent Ld->core->St chains, offset by ``max(Ld, core, St)``.  We build
+that two-stream schedule explicitly, which for odd ``n`` generalises to
+``max(ceil(n/2) * (Ld+core+St), max(Ld,core,St) + floor(n/2) * (Ld+core+St))``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.npu.pipelines import CORE_PIPES, Pipe, validate_core_mix
+
+#: Stable order in which a core block's sub-segments are laid out.
+_CORE_PIPE_ORDER: tuple[Pipe, ...] = (Pipe.CUBE, Pipe.VECTOR, Pipe.SCALAR, Pipe.MTE1)
+
+
+class Scenario(enum.Enum):
+    """The four execution scenarios of Sect. 4.2."""
+
+    PINGPONG_FREE_INDEPENDENT = "pingpong_free_independent"
+    PINGPONG_FREE_DEPENDENT = "pingpong_free_dependent"
+    PINGPONG_INDEPENDENT = "pingpong_independent"
+    PINGPONG_DEPENDENT = "pingpong_dependent"
+
+    @property
+    def pingpong(self) -> bool:
+        """Whether double buffering overlaps transfers with compute."""
+        return self in (Scenario.PINGPONG_INDEPENDENT, Scenario.PINGPONG_DEPENDENT)
+
+    @property
+    def dependent(self) -> bool:
+        """Whether Ld and St cannot be processed simultaneously."""
+        return self in (
+            Scenario.PINGPONG_FREE_DEPENDENT,
+            Scenario.PINGPONG_DEPENDENT,
+        )
+
+    @classmethod
+    def from_flags(cls, pingpong: bool, dependent: bool) -> "Scenario":
+        """Select the scenario from its two defining properties."""
+        if pingpong:
+            return cls.PINGPONG_DEPENDENT if dependent else cls.PINGPONG_INDEPENDENT
+        return cls.PINGPONG_FREE_DEPENDENT if dependent else cls.PINGPONG_FREE_INDEPENDENT
+
+
+@dataclass(frozen=True)
+class BlockCosts:
+    """Per-block cycle costs at a specific core frequency.
+
+    ``ld_cycles``/``st_cycles`` are full ``Cycle(Ld)``/``Cycle(St)`` values
+    from Eq. (4), *including* the ``T0 * f`` overhead; ``core_cycles`` is the
+    frequency-independent core computation cost.
+    """
+
+    ld_cycles: float
+    st_cycles: float
+    core_cycles: float
+
+    def __post_init__(self) -> None:
+        for name in ("ld_cycles", "st_cycles", "core_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @property
+    def serial_cycles(self) -> float:
+        """Cost of one fully serialised Ld -> core -> St chain."""
+        return self.ld_cycles + self.core_cycles + self.st_cycles
+
+    @property
+    def max_component(self) -> float:
+        """The dominant component ``max(Cycle(Ld), Cycle(core), Cycle(St))``."""
+        return max(self.ld_cycles, self.core_cycles, self.st_cycles)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open busy interval ``[start, end)`` on one pipe, in cycles."""
+
+    pipe: Pipe
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"segment end {self.end} before start {self.start}"
+            )
+
+    @property
+    def length(self) -> float:
+        """Cycle length of the segment."""
+        return self.end - self.start
+
+
+def closed_form_cycles(scenario: Scenario, n_blocks: int, costs: BlockCosts) -> float:
+    """Total operator cycles per the paper's Eqs. (5)-(8).
+
+    Args:
+        scenario: which of the four execution scenarios applies.
+        n_blocks: the operator's number of core computations ``n`` (>= 1).
+        costs: per-block cycle costs at the frequency of interest.
+    """
+    if n_blocks < 1:
+        raise ConfigurationError(f"n_blocks must be >= 1, got {n_blocks}")
+    n = n_blocks
+    ld, st, core = costs.ld_cycles, costs.st_cycles, costs.core_cycles
+    if scenario is Scenario.PINGPONG_FREE_INDEPENDENT:
+        # Eq. (5): serial compute; adjacent move-in/move-out overlap pairwise.
+        return ld + st + n * core + (n - 1) * max(ld, st)
+    if scenario is Scenario.PINGPONG_FREE_DEPENDENT:
+        # Eq. (6): everything serialises.
+        return n * (ld + core + st)
+    if scenario is Scenario.PINGPONG_INDEPENDENT:
+        # Eq. (7): steady state is paced by the dominant component.
+        return ld + core + st + (n - 1) * costs.max_component
+    # Eq. (8), PINGPONG_DEPENDENT: two buffer streams of serial chains,
+    # offset by the dominant component (see module docstring).
+    chains_a = math.ceil(n / 2)
+    chains_b = n - chains_a
+    end_a = chains_a * costs.serial_cycles
+    end_b = costs.max_component + chains_b * costs.serial_cycles
+    return max(end_a, end_b)
+
+
+def _core_block_segments(
+    start: float, core_cycles: float, core_mix: Mapping[Pipe, float]
+) -> list[Segment]:
+    """Split one core block into sequential per-pipe sub-segments."""
+    segments: list[Segment] = []
+    cursor = start
+    for pipe in _CORE_PIPE_ORDER:
+        fraction = core_mix.get(pipe, 0.0)
+        if fraction <= 0:
+            continue
+        length = core_cycles * fraction
+        segments.append(Segment(pipe=pipe, start=cursor, end=cursor + length))
+        cursor += length
+    return segments
+
+
+def _chain_segments(
+    start: float, costs: BlockCosts, core_mix: Mapping[Pipe, float]
+) -> list[Segment]:
+    """One serial Ld -> core -> St chain beginning at ``start``."""
+    segments: list[Segment] = []
+    cursor = start
+    if costs.ld_cycles > 0:
+        segments.append(Segment(Pipe.MTE2, cursor, cursor + costs.ld_cycles))
+    cursor += costs.ld_cycles
+    segments.extend(_core_block_segments(cursor, costs.core_cycles, core_mix))
+    cursor += costs.core_cycles
+    if costs.st_cycles > 0:
+        segments.append(Segment(Pipe.MTE3, cursor, cursor + costs.st_cycles))
+    return segments
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A concrete operator schedule: pipe segments plus the total cycles."""
+
+    scenario: Scenario
+    n_blocks: int
+    total_cycles: float
+    segments: tuple[Segment, ...]
+
+    def busy_cycles(self) -> dict[Pipe, float]:
+        """Union-length of busy intervals per pipe.
+
+        Overlapping segments on the same pipe (e.g. the two in-flight loads
+        of the pingpong-dependent schedule) are counted once, so a pipe's
+        busy cycles never exceed the total.
+        """
+        by_pipe: dict[Pipe, list[Segment]] = {}
+        for segment in self.segments:
+            by_pipe.setdefault(segment.pipe, []).append(segment)
+        return {
+            pipe: _union_length(segs) for pipe, segs in by_pipe.items()
+        }
+
+    def stall_cycles(self) -> float:
+        """Cycles during which no core-domain pipe is computing.
+
+        This is the 'stall' of the paper's timeline figures: total cycles
+        minus the union of all core-pipe busy intervals.
+        """
+        core_segments = [s for s in self.segments if s.pipe in CORE_PIPES]
+        return self.total_cycles - _union_length(core_segments)
+
+
+def _union_length(segments: Iterable[Segment]) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    spans = sorted(
+        ((s.start, s.end) for s in segments if s.end > s.start),
+    )
+    covered = 0.0
+    current_start: float | None = None
+    current_end = 0.0
+    for start, end in spans:
+        if current_start is None or start > current_end:
+            if current_start is not None:
+                covered += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_start is not None:
+        covered += current_end - current_start
+    return covered
+
+
+def build_timeline(
+    scenario: Scenario,
+    n_blocks: int,
+    costs: BlockCosts,
+    core_mix: Mapping[Pipe, float],
+) -> Timeline:
+    """Construct the explicit schedule of Figs. 5-8 for one operator.
+
+    The returned timeline's ``total_cycles`` equals
+    :func:`closed_form_cycles` for the same inputs by construction.
+    """
+    if n_blocks < 1:
+        raise ConfigurationError(f"n_blocks must be >= 1, got {n_blocks}")
+    validate_core_mix(dict(core_mix))
+    builder = {
+        Scenario.PINGPONG_FREE_INDEPENDENT: _build_ppfree_independent,
+        Scenario.PINGPONG_FREE_DEPENDENT: _build_ppfree_dependent,
+        Scenario.PINGPONG_INDEPENDENT: _build_pingpong_independent,
+        Scenario.PINGPONG_DEPENDENT: _build_pingpong_dependent,
+    }[scenario]
+    segments = builder(n_blocks, costs, core_mix)
+    total = closed_form_cycles(scenario, n_blocks, costs)
+    return Timeline(
+        scenario=scenario,
+        n_blocks=n_blocks,
+        total_cycles=total,
+        segments=tuple(segments),
+    )
+
+
+def _build_ppfree_independent(
+    n: int, costs: BlockCosts, core_mix: Mapping[Pipe, float]
+) -> list[Segment]:
+    """Fig. 5: head Ld, serial cores, paired mid Ld/St, tail St."""
+    ld, st, core = costs.ld_cycles, costs.st_cycles, costs.core_cycles
+    gap = max(ld, st)
+    segments: list[Segment] = []
+    if ld > 0:
+        segments.append(Segment(Pipe.MTE2, 0.0, ld))
+    for i in range(n):
+        core_start = ld + i * (core + gap)
+        segments.extend(_core_block_segments(core_start, core, core_mix))
+        core_end = core_start + core
+        if i < n - 1:
+            # Move-out of block i and move-in of block i+1 run in parallel.
+            if st > 0:
+                segments.append(Segment(Pipe.MTE3, core_end, core_end + st))
+            if ld > 0:
+                segments.append(Segment(Pipe.MTE2, core_end, core_end + ld))
+        elif st > 0:
+            segments.append(Segment(Pipe.MTE3, core_end, core_end + st))
+    return segments
+
+
+def _build_ppfree_dependent(
+    n: int, costs: BlockCosts, core_mix: Mapping[Pipe, float]
+) -> list[Segment]:
+    """Fig. 6: fully serial Ld -> core -> St chains."""
+    segments: list[Segment] = []
+    for i in range(n):
+        segments.extend(
+            _chain_segments(i * costs.serial_cycles, costs, core_mix)
+        )
+    return segments
+
+
+def _build_pingpong_independent(
+    n: int, costs: BlockCosts, core_mix: Mapping[Pipe, float]
+) -> list[Segment]:
+    """Fig. 7: steady state paced by the dominant component."""
+    ld, st, core = costs.ld_cycles, costs.st_cycles, costs.core_cycles
+    period = costs.max_component
+    segments: list[Segment] = []
+    for i in range(n):
+        core_start = ld + i * period
+        # Move-in finishes exactly when the core block starts.
+        if ld > 0:
+            segments.append(Segment(Pipe.MTE2, core_start - ld, core_start))
+        segments.extend(_core_block_segments(core_start, core, core_mix))
+        if st > 0:
+            core_end = core_start + core
+            segments.append(Segment(Pipe.MTE3, core_end, core_end + st))
+    return segments
+
+
+def _build_pingpong_dependent(
+    n: int, costs: BlockCosts, core_mix: Mapping[Pipe, float]
+) -> list[Segment]:
+    """Fig. 8: two buffer streams of serial chains, offset by the max."""
+    offset = costs.max_component
+    period = costs.serial_cycles
+    segments: list[Segment] = []
+    for i in range(n):
+        stream, position = i % 2, i // 2
+        start = stream * offset + position * period
+        segments.extend(_chain_segments(start, costs, core_mix))
+    return segments

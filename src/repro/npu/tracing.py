@@ -1,0 +1,135 @@
+"""Execution-trace export and inspection (paper Sect. 7.4 validation).
+
+The paper validates its generated policy by *reviewing the visualised
+trace*: right before a compute-bound MatMul executes, the AICore frequency
+rises from 1100 MHz to 1800 MHz, then falls back afterwards.  This module
+provides the same capability for the simulator:
+
+* :func:`to_chrome_trace` exports an :class:`ExecutionResult` as a Chrome
+  trace-event JSON document (open it in ``chrome://tracing`` or Perfetto):
+  one track of operator spans, one counter track for the core frequency,
+  and one for AICore/SoC power;
+* :func:`frequency_rises_before` checks the paper's validation predicate
+  programmatically — does the frequency step up right before operators of
+  a given type, and back down after?
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ProfilingError
+from repro.npu.device import ExecutionResult
+from repro.npu.operators import OperatorKind
+
+
+def to_chrome_trace(result: ExecutionResult) -> str:
+    """Serialise an execution as Chrome trace-event JSON.
+
+    The document contains complete events (`ph: "X"`) for every operator
+    and counter events (`ph: "C"`) for frequency and power, all on one
+    process ("NPU") with the operator track as thread 0.
+    """
+    if not result.records:
+        raise ProfilingError("execution has no operator records")
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": f"NPU ({result.trace_name})"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "operators"},
+        },
+    ]
+    for record in result.records:
+        spec = record.evaluation.spec
+        events.append(
+            {
+                "name": spec.op_type,
+                "cat": spec.kind.value,
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": record.start_us,
+                "dur": record.duration_us,
+                "args": {
+                    "operator": spec.name,
+                    "freq_mhz": record.start_freq_mhz,
+                    "aicore_energy_j": record.aicore_energy_j,
+                },
+            }
+        )
+    for chunk in result.chunks:
+        events.append(
+            {
+                "name": "core frequency (MHz)",
+                "ph": "C",
+                "pid": 0,
+                "ts": chunk.start_us,
+                "args": {"MHz": chunk.freq_mhz},
+            }
+        )
+        events.append(
+            {
+                "name": "power (W)",
+                "ph": "C",
+                "pid": 0,
+                "ts": chunk.start_us,
+                "args": {
+                    "aicore": round(chunk.aicore_watts, 3),
+                    "soc": round(chunk.soc_watts, 3),
+                },
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def save_chrome_trace(result: ExecutionResult, path: str | Path) -> None:
+    """Write :func:`to_chrome_trace` output to a file."""
+    Path(path).write_text(to_chrome_trace(result), encoding="utf-8")
+
+
+def frequency_rises_before(
+    result: ExecutionResult,
+    op_type: str,
+    min_rise_mhz: float = 100.0,
+) -> list[int]:
+    """Indices of ``op_type`` operators preceded by a frequency step-up.
+
+    This is the paper's Sect. 7.4 spot check in predicate form: 'right
+    before executing a compute-bound MatMul operator, the AICore frequency
+    is increased ... After the operator finished, the frequency reverted.'
+    An index qualifies when the operator starts at a frequency at least
+    ``min_rise_mhz`` above its predecessor's.
+    """
+    qualifying = []
+    for previous, record in zip(result.records, result.records[1:]):
+        spec = record.evaluation.spec
+        if spec.op_type != op_type:
+            continue
+        if spec.kind is not OperatorKind.COMPUTE:
+            continue
+        if record.start_freq_mhz >= previous.start_freq_mhz + min_rise_mhz:
+            qualifying.append(record.index)
+    return qualifying
+
+
+def frequency_reverts_after(
+    result: ExecutionResult,
+    op_index: int,
+    min_drop_mhz: float = 100.0,
+) -> bool:
+    """Whether the frequency steps back down after operator ``op_index``."""
+    if not 0 <= op_index < len(result.records) - 1:
+        return False
+    here = result.records[op_index]
+    following = result.records[op_index + 1]
+    return following.start_freq_mhz <= here.start_freq_mhz - min_drop_mhz

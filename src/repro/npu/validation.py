@@ -1,0 +1,198 @@
+"""Consistency checks for NPU specifications.
+
+Custom accelerator descriptions (the Sect. 8.3 generalisation path) are
+easy to get subtly wrong — a thermal feedback loop that runs away, a
+voltage curve that collapses dynamic power ordering, a saturation point
+far outside the DVFS range.  :func:`validate_spec` runs the whole
+checklist and reports findings instead of letting a bad spec surface as a
+confusing experiment result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.npu.pipelines import ALL_PIPES
+from repro.npu.spec import NpuSpec
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken."""
+
+    #: The spec will produce wrong or meaningless results.
+    ERROR = "error"
+    #: The spec is usable but probably not what was intended.
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one spec."""
+
+    spec_name: str
+    findings: tuple[Finding, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings exist."""
+        return not self.errors
+
+    @property
+    def errors(self) -> list[Finding]:
+        """Only the error-severity findings."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        """Only the warning-severity findings."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def render(self) -> str:
+        """Human-readable report."""
+        if not self.findings:
+            return f"{self.spec_name}: ok"
+        lines = [f"{self.spec_name}:"]
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.severity.value}] {finding.code}: "
+                f"{finding.message}"
+            )
+        return "\n".join(lines)
+
+
+def validate_spec(spec: NpuSpec) -> ValidationReport:
+    """Run every consistency check against a spec."""
+    findings: list[Finding] = []
+    findings.extend(_check_thermal_stability(spec))
+    findings.extend(_check_voltage_ordering(spec))
+    findings.extend(_check_saturation_band(spec))
+    findings.extend(_check_power_sanity(spec))
+    findings.extend(_check_setfreq(spec))
+    return ValidationReport(spec_name=spec.name, findings=tuple(findings))
+
+
+def _check_thermal_stability(spec: NpuSpec) -> list[Finding]:
+    findings = []
+    worst_volts = max(spec.volts_at(f) for f in spec.frequencies.points)
+    gain = spec.power.thermal_feedback_gain(worst_volts)
+    loop = gain * spec.thermal.celsius_per_watt
+    if loop >= 1.0:
+        findings.append(
+            Finding(
+                Severity.ERROR,
+                "thermal-runaway",
+                f"leakage-temperature loop gain {loop:.2f} >= 1: power and "
+                "temperature diverge; reduce gamma or k",
+            )
+        )
+    elif loop > 0.5:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "thermal-marginal",
+                f"loop gain {loop:.2f} > 0.5: equilibrium power is very "
+                "sensitive to the thermal constants",
+            )
+        )
+    return findings
+
+
+def _check_voltage_ordering(spec: NpuSpec) -> list[Finding]:
+    findings = []
+    points = spec.frequencies.points
+    dynamic = [
+        f / 1000.0 * spec.volts_at(f) ** 2 for f in points
+    ]
+    if any(b <= a for a, b in zip(dynamic, dynamic[1:])):
+        findings.append(
+            Finding(
+                Severity.ERROR,
+                "fv2-not-increasing",
+                "f*V^2 is not strictly increasing across the grid: DVFS "
+                "would have frequencies that cost performance without "
+                "saving power",
+            )
+        )
+    if spec.voltage.knee_mhz > spec.frequencies.max_mhz:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "flat-voltage",
+                "the voltage knee sits above the grid: voltage never rises "
+                "with frequency, flattening the DVFS power lever",
+            )
+        )
+    return findings
+
+
+def _check_saturation_band(spec: NpuSpec) -> list[Finding]:
+    findings = []
+    fs = spec.memory.saturation_frequency()
+    lo, hi = spec.frequencies.min_mhz, spec.frequencies.max_mhz
+    if fs < lo / 4 or fs > hi * 4:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "saturation-far-from-grid",
+                f"the neutral Ld/St saturation point ({fs:.0f} MHz) is far "
+                f"outside the DVFS range [{lo:.0f}, {hi:.0f}]: every "
+                "operator will be either always or never bandwidth-bound",
+            )
+        )
+    return findings
+
+
+def _check_power_sanity(spec: NpuSpec) -> list[Finding]:
+    findings = []
+    for pipe in ALL_PIPES:
+        if spec.power.pipe_alpha_w_per_ghz_v2[pipe] == 0:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "zero-pipe-alpha",
+                    f"pipe {pipe.value} draws no load power: operators "
+                    "bound on it will look free to the optimizer",
+                )
+            )
+    f_max = spec.frequencies.max_mhz
+    volts = spec.volts_at(f_max)
+    idle = spec.power.aicore_idle_power(f_max, volts)
+    busy = spec.power.aicore_power(
+        {pipe: 1.0 for pipe in ALL_PIPES}, f_max, volts, 0.0
+    )
+    if busy <= idle * 1.05:
+        findings.append(
+            Finding(
+                Severity.ERROR,
+                "no-dynamic-range",
+                "a fully busy AICore draws barely more than an idle one: "
+                "load power is miscalibrated",
+            )
+        )
+    return findings
+
+
+def _check_setfreq(spec: NpuSpec) -> list[Finding]:
+    findings = []
+    if spec.setfreq.total_latency_us > 50_000.0:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "slow-setfreq",
+                f"frequency control takes "
+                f"{spec.setfreq.total_latency_us / 1000:.0f} ms: "
+                "operator-level DVFS will degrade (see the fig18 "
+                "experiment)",
+            )
+        )
+    return findings

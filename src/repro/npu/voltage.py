@@ -1,0 +1,56 @@
+"""Voltage/frequency relationship of the simulated NPU (paper Fig. 9).
+
+The Ascend firmware adapts voltage automatically when frequency changes:
+below a knee frequency (1300 MHz) the voltage is flat; above it, voltage
+rises linearly with frequency.  This mirrors the positive V-f correlation
+reported for NVIDIA GPUs as well (Sect. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Piecewise-linear voltage curve ``V(f)``.
+
+    Attributes:
+        flat_volts: supply voltage below the knee, in volts.
+        knee_mhz: frequency at which voltage starts rising.
+        slope_volts_per_mhz: linear slope above the knee.
+    """
+
+    flat_volts: float = 0.780
+    knee_mhz: float = 1300.0
+    slope_volts_per_mhz: float = 0.00034
+
+    def __post_init__(self) -> None:
+        if self.flat_volts <= 0:
+            raise ConfigurationError(f"flat voltage must be positive: {self.flat_volts}")
+        if self.knee_mhz <= 0:
+            raise ConfigurationError(f"knee frequency must be positive: {self.knee_mhz}")
+        if self.slope_volts_per_mhz < 0:
+            raise ConfigurationError(
+                f"voltage slope must be non-negative: {self.slope_volts_per_mhz}"
+            )
+
+    def volts(self, freq_mhz: float | np.ndarray) -> float | np.ndarray:
+        """Supply voltage at ``freq_mhz``; vectorised over arrays."""
+        f = np.asarray(freq_mhz, dtype=float)
+        if np.any(f <= 0):
+            raise ConfigurationError("frequency must be positive")
+        v = self.flat_volts + self.slope_volts_per_mhz * np.maximum(
+            0.0, f - self.knee_mhz
+        )
+        if np.isscalar(freq_mhz) or f.ndim == 0:
+            return float(v)
+        return v
+
+    def table(self, freqs_mhz: tuple[float, ...]) -> list[tuple[float, float]]:
+        """``(frequency MHz, voltage V)`` rows, e.g. to regenerate Fig. 9."""
+        return [(float(f), float(self.volts(f))) for f in freqs_mhz]

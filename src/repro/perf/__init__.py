@@ -1,0 +1,53 @@
+"""Performance modelling: white-box cycle analysis and fitted surrogates.
+
+Implements Sect. 4 of the paper: the analytical convex piecewise-linear
+cycle model, the three candidate fitting functions, per-workload model
+construction from profiler reports, and held-out validation.
+"""
+
+from repro.perf.cycle_model import OperatorCycleModel, TransferLaw
+from repro.perf.evaluation import (
+    PerformanceValidation,
+    PredictionRecord,
+    validate_performance_model,
+)
+from repro.perf.fitting import (
+    FitFunction,
+    PerformanceFit,
+    fit_func1,
+    fit_func2,
+    fit_func3,
+    fit_performance,
+    select_fit_frequencies,
+)
+from repro.perf.piecewise import (
+    PiecewiseLinear,
+    ideal_cycle_pwl,
+    ideal_transfer_pwl,
+)
+from repro.perf.model import (
+    OperatorPerformanceModel,
+    WorkloadPerformanceModel,
+    build_performance_model,
+)
+
+__all__ = [
+    "FitFunction",
+    "OperatorCycleModel",
+    "OperatorPerformanceModel",
+    "PerformanceFit",
+    "PerformanceValidation",
+    "PiecewiseLinear",
+    "PredictionRecord",
+    "TransferLaw",
+    "WorkloadPerformanceModel",
+    "build_performance_model",
+    "fit_func1",
+    "fit_func2",
+    "fit_func3",
+    "fit_performance",
+    "ideal_cycle_pwl",
+    "ideal_transfer_pwl",
+    "select_fit_frequencies",
+    "validate_performance_model",
+]

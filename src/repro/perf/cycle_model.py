@@ -1,0 +1,158 @@
+"""Analytical cycle-count model of Sect. 4 — the white-box analysis.
+
+For a compute operator, the cycle count as a function of core frequency is
+the scenario closed form of Eqs. (5)-(8), built from the Ld/St transfer law
+of Eq. (4).  This module packages that analysis for a single operator:
+
+* evaluate ``Cycle(f)`` and ``T(f) = Cycle(f)/f`` at any frequency;
+* expose the Ld/St saturation breakpoints ``f_s`` of Eq. (2);
+* verify the Sect. 4.2.5 conclusion (convex, piecewise-linear, increasing
+  slopes) numerically on a frequency grid.
+
+The fitted models of Sect. 4.3 (see :mod:`repro.perf.fitting`) exist
+*because* the breakpoints below are unobservable on real hardware: the PMU
+reports no stall distribution, so this analytical form cannot be solved
+directly and a convex surrogate is fitted instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.convexity import is_convex_samples
+from repro.errors import WorkloadError
+from repro.npu.memory import MemoryHierarchy, smooth_max
+from repro.npu.operators import OperatorSpec
+from repro.npu.timeline import BlockCosts, Scenario, closed_form_cycles
+
+
+@dataclass(frozen=True)
+class TransferLaw:
+    """The ``Cycle(f) = max(a*f, c) + T0*f`` law for one transfer stream.
+
+    The same smoothed saturation corner as the simulated hardware is used
+    (see ``MemoryHierarchy.saturation_sharpness``), so the analytical model
+    and the device agree exactly.
+    """
+
+    #: Wall time in us once the uncore saturates (``M / BW_uncore``).
+    a_us: float
+    #: Core-side port-limited cycles (``M / (C * core_num)``).
+    c_cycles: float
+    #: Fixed initiation overhead in us (becomes ``T0 * f`` cycles).
+    overhead_us: float
+    #: Corner sharpness of the saturation transition.
+    sharpness: float = 6.0
+
+    def cycles(self, freq_mhz: float) -> float:
+        """Transfer cycles at ``freq_mhz`` — Eq. (4), smoothed corner."""
+        if self.a_us == 0 and self.c_cycles == 0:
+            return 0.0
+        return smooth_max(self.a_us * freq_mhz, self.c_cycles, self.sharpness) + (
+            self.overhead_us * freq_mhz
+        )
+
+    @property
+    def saturation_mhz(self) -> float:
+        """The breakpoint frequency ``f_s`` — Eq. (2) (inf if no transfer)."""
+        if self.a_us == 0:
+            return float("inf")
+        return self.c_cycles / self.a_us
+
+
+class OperatorCycleModel:
+    """Closed-form ``Cycle(f)`` for one compute operator on one memory system."""
+
+    def __init__(self, spec: OperatorSpec, memory: MemoryHierarchy) -> None:
+        if not spec.is_compute or spec.compute is None:
+            raise WorkloadError(
+                f"cycle model requires a compute operator, got {spec.name!r}"
+            )
+        self._spec = spec
+        compute = spec.compute
+        a_ld, c_ld = memory.transfer_cycle_coefficients(
+            compute.ld_bytes_per_block, compute.bandwidth_derate
+        )
+        a_st, c_st = memory.transfer_cycle_coefficients(
+            compute.st_bytes_per_block, compute.bandwidth_derate
+        )
+        overhead = memory.transfer_overhead_us
+        sharpness = memory.saturation_sharpness
+        self._ld = TransferLaw(
+            a_ld, c_ld, overhead if compute.ld_bytes_per_block else 0.0, sharpness
+        )
+        self._st = TransferLaw(
+            a_st, c_st, overhead if compute.st_bytes_per_block else 0.0, sharpness
+        )
+
+    @property
+    def spec(self) -> OperatorSpec:
+        """The modelled operator."""
+        return self._spec
+
+    @property
+    def scenario(self) -> Scenario:
+        """The operator's timeline scenario."""
+        assert self._spec.compute is not None
+        return self._spec.compute.scenario
+
+    @property
+    def load_law(self) -> TransferLaw:
+        """The move-in transfer law."""
+        return self._ld
+
+    @property
+    def store_law(self) -> TransferLaw:
+        """The move-out transfer law."""
+        return self._st
+
+    def breakpoints_mhz(self) -> list[float]:
+        """Finite Ld/St saturation frequencies, sorted ascending.
+
+        These are (a subset of) the slope-change points of the piecewise
+        linear ``Cycle(f)``; the scenario ``max()`` terms can add more.
+        """
+        points = {
+            law.saturation_mhz
+            for law in (self._ld, self._st)
+            if np.isfinite(law.saturation_mhz)
+        }
+        return sorted(points)
+
+    def cycles(self, freq_mhz: float) -> float:
+        """Total operator cycles at ``freq_mhz`` (pipeline + fixed overhead)."""
+        compute = self._spec.compute
+        assert compute is not None
+        costs = BlockCosts(
+            ld_cycles=self._ld.cycles(freq_mhz),
+            st_cycles=self._st.cycles(freq_mhz),
+            core_cycles=compute.core_cycles_per_block,
+        )
+        pipeline = closed_form_cycles(compute.scenario, compute.n_blocks, costs)
+        return pipeline + compute.fixed_overhead_us * freq_mhz
+
+    def time_us(self, freq_mhz: float) -> float:
+        """Wall time ``T(f) = Cycle(f) / f``."""
+        return self.cycles(freq_mhz) / freq_mhz
+
+    def cycles_on_grid(self, freqs_mhz: Sequence[float]) -> np.ndarray:
+        """Vector of cycle counts over a frequency grid."""
+        return np.array([self.cycles(f) for f in freqs_mhz])
+
+    def is_convex_on(self, freqs_mhz: Sequence[float]) -> bool:
+        """Numerically verify Sect. 4.2.5's convexity conclusion on a grid."""
+        return is_convex_samples(freqs_mhz, self.cycles_on_grid(freqs_mhz))
+
+    def slope_profile(self, freqs_mhz: Sequence[float]) -> np.ndarray:
+        """Finite-difference slopes of ``Cycle(f)`` between grid points.
+
+        Sect. 4.2.5: with increasing frequency the slope of each linear
+        segment gradually increases; this returns the observed slopes so
+        callers can assert they are non-decreasing.
+        """
+        freqs = np.asarray(freqs_mhz, dtype=float)
+        cycles = self.cycles_on_grid(freqs_mhz)
+        return np.diff(cycles) / np.diff(freqs)

@@ -1,0 +1,125 @@
+"""Performance-model validation (Sect. 7.2, Fig. 15/16).
+
+Given a fitted workload model and held-out profiler reports (frequencies
+that were *not* used for fitting), compute per-operator prediction errors,
+their CDF, and the headline accuracy statistics the paper reports (average
+error 1.96%; >90% of predictions within 5%; >98% within 10%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.stats import ErrorSummary, empirical_cdf, summarize_errors
+from repro.errors import ProfilingError
+from repro.npu.profiler import (
+    ProfileReport,
+    SHORT_OPERATOR_CUTOFF_US,
+    merge_reports,
+)
+from repro.perf.model import WorkloadPerformanceModel
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One (operator, frequency) prediction versus measurement."""
+
+    name: str
+    op_type: str
+    freq_mhz: float
+    predicted_us: float
+    measured_us: float
+
+    @property
+    def error(self) -> float:
+        """Absolute relative error of the prediction."""
+        return abs(self.predicted_us - self.measured_us) / self.measured_us
+
+
+@dataclass(frozen=True)
+class PerformanceValidation:
+    """Validation outcome for one workload model."""
+
+    trace_name: str
+    records: tuple[PredictionRecord, ...]
+    summary: ErrorSummary
+
+    @property
+    def data_points(self) -> int:
+        """Number of (operator, frequency) validation points."""
+        return len(self.records)
+
+    def error_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF of prediction errors (Fig. 15's presentation)."""
+        return empirical_cdf([record.error for record in self.records])
+
+    def errors_for(self, name: str) -> list[PredictionRecord]:
+        """All validation records of one operator, sorted by frequency."""
+        return sorted(
+            (r for r in self.records if r.name == name),
+            key=lambda r: r.freq_mhz,
+        )
+
+
+def validate_performance_model(
+    model: WorkloadPerformanceModel,
+    reports: Sequence[ProfileReport],
+    holdout_freqs_mhz: Sequence[float] | None = None,
+    cutoff_us: float = SHORT_OPERATOR_CUTOFF_US,
+) -> PerformanceValidation:
+    """Compare model predictions against measured durations.
+
+    Args:
+        model: the fitted workload model.
+        reports: profiler reports (any frequencies; those used for fitting
+            are excluded automatically unless ``holdout_freqs_mhz`` is
+            given explicitly).
+        holdout_freqs_mhz: frequencies to validate on.
+        cutoff_us: operators faster than this (at the report frequency) are
+            excluded, matching Sect. 7.2's protocol.
+
+    Raises:
+        ProfilingError: if no validation frequencies remain.
+    """
+    ordered = merge_reports(reports)
+    if holdout_freqs_mhz is None:
+        holdout = [
+            r.freq_label_mhz
+            for r in ordered
+            if r.freq_label_mhz not in model.fit_freqs_mhz
+        ]
+    else:
+        holdout = [float(f) for f in holdout_freqs_mhz]
+    if not holdout:
+        raise ProfilingError("no held-out frequencies to validate on")
+
+    records: list[PredictionRecord] = []
+    for report in ordered:
+        if report.freq_label_mhz not in holdout:
+            continue
+        for op in report.significant_operators(cutoff_us):
+            if op.name not in model.operators:
+                continue
+            if not model.operators[op.name].frequency_sensitive:
+                continue
+            predicted = model.predict_time_us(op.name, report.freq_label_mhz)
+            records.append(
+                PredictionRecord(
+                    name=op.name,
+                    op_type=op.op_type,
+                    freq_mhz=report.freq_label_mhz,
+                    predicted_us=predicted,
+                    measured_us=op.duration_us,
+                )
+            )
+    if not records:
+        raise ProfilingError("no validation records produced")
+    summary = summarize_errors([record.error for record in records])
+    return PerformanceValidation(
+        trace_name=model.trace_name,
+        records=tuple(records),
+        summary=summary,
+    )

@@ -1,0 +1,160 @@
+"""Per-operator and per-workload performance models (Sect. 4.3).
+
+A :class:`WorkloadPerformanceModel` maps every operator name in a profiled
+workload to a duration predictor:
+
+* compute operators get a fitted convex surrogate (Func. 2 by default);
+* non-compute operators (AICPU, communication, idle) are frequency-
+  insensitive and get their measured mean duration as a constant.
+
+Models are constructed from profiler reports gathered at two (or three)
+frequencies — exactly the paper's data-collection protocol, where running
+each model once per frequency point suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FittingError, ProfilingError
+from repro.npu.operators import OperatorKind
+from repro.npu.profiler import ProfileReport, merge_reports
+from repro.perf.fitting import (
+    FitFunction,
+    PerformanceFit,
+    fit_performance,
+    select_fit_frequencies,
+)
+
+
+@dataclass(frozen=True)
+class OperatorPerformanceModel:
+    """Duration predictor for one operator name."""
+
+    name: str
+    op_type: str
+    kind: OperatorKind
+    #: Fitted surrogate for compute operators; None for fixed-time ones.
+    fit: PerformanceFit | None
+    #: Constant duration for non-compute operators (and the fallback).
+    constant_us: float
+
+    @property
+    def frequency_sensitive(self) -> bool:
+        """Whether predictions vary with core frequency."""
+        return self.fit is not None
+
+    def predict_time_us(self, freq_mhz: float) -> float:
+        """Predicted duration at ``freq_mhz``."""
+        if self.fit is None:
+            return self.constant_us
+        return float(self.fit.predict_time_us(freq_mhz))
+
+
+@dataclass(frozen=True)
+class WorkloadPerformanceModel:
+    """Duration predictors for every operator of one workload."""
+
+    trace_name: str
+    function: FitFunction
+    fit_freqs_mhz: tuple[float, ...]
+    operators: Mapping[str, OperatorPerformanceModel]
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def predict_time_us(self, name: str, freq_mhz: float) -> float:
+        """Predicted duration of operator ``name`` at ``freq_mhz``.
+
+        Raises:
+            FittingError: for an unknown operator name.
+        """
+        try:
+            model = self.operators[name]
+        except KeyError:
+            raise FittingError(
+                f"no performance model for operator {name!r}"
+            ) from None
+        return model.predict_time_us(freq_mhz)
+
+    def duration_matrix(
+        self, names: Sequence[str], freqs_mhz: Sequence[float]
+    ) -> np.ndarray:
+        """Matrix of predicted durations, shape ``(len(names), len(freqs))``.
+
+        This is the lookup table the genetic-algorithm scoring uses.
+        """
+        matrix = np.empty((len(names), len(freqs_mhz)), dtype=float)
+        for i, name in enumerate(names):
+            for j, freq in enumerate(freqs_mhz):
+                matrix[i, j] = self.predict_time_us(name, freq)
+        return matrix
+
+
+def build_performance_model(
+    reports: Sequence[ProfileReport],
+    function: FitFunction = FitFunction.QUADRATIC_NO_LINEAR,
+    fit_freqs_mhz: Sequence[float] | None = None,
+) -> WorkloadPerformanceModel:
+    """Fit per-operator models from profiler reports at several frequencies.
+
+    Args:
+        reports: one report per frequency point for the same trace.
+        function: which Sect. 4.3 surrogate to fit for compute operators.
+        fit_freqs_mhz: which of the profiled frequencies to fit on;
+            defaults to the paper's protocol (extremes, plus the middle for
+            three-parameter functions).
+
+    Raises:
+        ProfilingError: if the reports are inconsistent.
+        FittingError: if too few frequencies are available.
+    """
+    ordered = merge_reports(reports)
+    available = [report.freq_label_mhz for report in ordered]
+    if fit_freqs_mhz is None:
+        chosen = select_fit_frequencies(available, function)
+    else:
+        chosen = [float(f) for f in fit_freqs_mhz]
+        missing = set(chosen) - set(available)
+        if missing:
+            raise ProfilingError(
+                f"requested fit frequencies {sorted(missing)} not profiled "
+                f"(available: {available})"
+            )
+    by_freq = {r.freq_label_mhz: r.durations_by_name() for r in ordered}
+    reference = ordered[0].first_by_name()
+
+    operators: dict[str, OperatorPerformanceModel] = {}
+    for name, profiled in reference.items():
+        durations = [by_freq[f].get(name) for f in chosen]
+        if any(d is None for d in durations):
+            raise ProfilingError(
+                f"operator {name!r} missing from some frequency reports"
+            )
+        mean_duration = float(np.mean([d for d in durations if d is not None]))
+        if profiled.kind is OperatorKind.COMPUTE:
+            try:
+                fit = fit_performance(chosen, durations, function)
+            except FittingError:
+                # A non-converging curve_fit (it happens with Func. 3's
+                # bounded exponential) degrades to a constant predictor
+                # rather than aborting the whole workload model.
+                fit = None
+        else:
+            fit = None
+        operators[name] = OperatorPerformanceModel(
+            name=name,
+            op_type=profiled.op_type,
+            kind=profiled.kind,
+            fit=fit,
+            constant_us=mean_duration,
+        )
+    return WorkloadPerformanceModel(
+        trace_name=ordered[0].trace_name,
+        function=function,
+        fit_freqs_mhz=tuple(chosen),
+        operators=operators,
+    )

@@ -1,0 +1,219 @@
+"""Exact piecewise-linear algebra for the ideal cycle model (paper Fig. 4).
+
+Sect. 4.3 discusses how the relationship between the DVFS range
+``[f_min, f_max]`` and the breakpoints ``f_s(St), f_2, f_s(Ld), f_4`` of
+the ideal (un-smoothed) cycle function yields performance models with one
+to five linear segments.  This module provides the small exact algebra
+needed to *construct* those functions symbolically — linear pieces
+combined with sums, scalar multiples, and pointwise maxima — and to
+enumerate their breakpoints and segments precisely.
+
+The simulator's ground truth uses a smoothed saturation corner (see
+``MemoryHierarchy.saturation_sharpness``); this module analyses the ideal
+``max()`` form the paper's mathematics is written in.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.npu.operators import OperatorSpec
+from repro.npu.memory import MemoryHierarchy
+from repro.npu.timeline import Scenario
+
+#: Relative tolerance for slope comparisons when counting segments.
+_SLOPE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """An exact piecewise-linear function on a closed domain.
+
+    Represented by its knots: strictly increasing x-values (including the
+    domain endpoints) and the function values there; the function is
+    linear between consecutive knots.
+    """
+
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys) or len(self.xs) < 2:
+            raise ConfigurationError("need >= 2 aligned knots")
+        if any(b <= a for a, b in zip(self.xs, self.xs[1:])):
+            raise ConfigurationError("knot xs must be strictly increasing")
+
+    @classmethod
+    def linear(
+        cls, slope: float, intercept: float, domain: tuple[float, float]
+    ) -> "PiecewiseLinear":
+        """The line ``slope * x + intercept`` restricted to ``domain``."""
+        lo, hi = domain
+        if hi <= lo:
+            raise ConfigurationError(f"empty domain: {domain}")
+        return cls(
+            xs=(lo, hi), ys=(slope * lo + intercept, slope * hi + intercept)
+        )
+
+    @classmethod
+    def constant(
+        cls, value: float, domain: tuple[float, float]
+    ) -> "PiecewiseLinear":
+        """A constant function on ``domain``."""
+        return cls.linear(0.0, value, domain)
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The closed interval the function is defined on."""
+        return self.xs[0], self.xs[-1]
+
+    def __call__(self, x: float) -> float:
+        lo, hi = self.domain
+        if not lo <= x <= hi:
+            raise ConfigurationError(f"{x} outside domain {self.domain}")
+        for x0, x1, y0, y1 in zip(self.xs, self.xs[1:], self.ys, self.ys[1:]):
+            if x <= x1:
+                t = (x - x0) / (x1 - x0)
+                return y0 + t * (y1 - y0)
+        return self.ys[-1]  # pragma: no cover - unreachable
+
+    def _resampled(self, xs: tuple[float, ...]) -> tuple[float, ...]:
+        return tuple(self(x) for x in xs)
+
+    def _merged_knots(self, other: "PiecewiseLinear") -> tuple[float, ...]:
+        if self.domain != other.domain:
+            raise ConfigurationError(
+                f"domain mismatch: {self.domain} vs {other.domain}"
+            )
+        xs = sorted(set(self.xs) | set(other.xs))
+        return tuple(xs)
+
+    def __add__(self, other: "PiecewiseLinear") -> "PiecewiseLinear":
+        xs = self._merged_knots(other)
+        ys = tuple(
+            a + b for a, b in zip(self._resampled(xs), other._resampled(xs))
+        )
+        return PiecewiseLinear(xs=xs, ys=ys)
+
+    def scaled(self, factor: float) -> "PiecewiseLinear":
+        """The function multiplied by a non-negative scalar."""
+        if factor < 0:
+            raise ConfigurationError("scaling by a negative factor would "
+                                     "break convexity guarantees")
+        return PiecewiseLinear(
+            xs=self.xs, ys=tuple(y * factor for y in self.ys)
+        )
+
+    def maximum(self, other: "PiecewiseLinear") -> "PiecewiseLinear":
+        """The pointwise maximum, with exact crossing knots inserted."""
+        xs = list(self._merged_knots(other))
+        # Insert exact crossings between consecutive shared knots.
+        for x0, x1 in list(zip(xs, xs[1:])):
+            d0 = self(x0) - other(x0)
+            d1 = self(x1) - other(x1)
+            if d0 * d1 < 0:
+                # One crossing; both functions are linear on [x0, x1].
+                t = d0 / (d0 - d1)
+                insort(xs, x0 + t * (x1 - x0))
+        knots = tuple(xs)
+        ys = tuple(
+            max(a, b)
+            for a, b in zip(self._resampled(knots), other._resampled(knots))
+        )
+        return PiecewiseLinear(xs=knots, ys=ys)
+
+    def slopes(self) -> list[float]:
+        """The slope of each knot interval, left to right."""
+        return [
+            (y1 - y0) / (x1 - x0)
+            for x0, x1, y0, y1 in zip(
+                self.xs, self.xs[1:], self.ys, self.ys[1:]
+            )
+        ]
+
+    def breakpoints(self) -> list[float]:
+        """Interior x-values where the slope actually changes."""
+        result = []
+        slopes = self.slopes()
+        for x, s0, s1 in zip(self.xs[1:], slopes, slopes[1:]):
+            scale = max(1.0, abs(s0), abs(s1))
+            if abs(s1 - s0) > _SLOPE_TOL * scale:
+                result.append(x)
+        return result
+
+    def segment_count(self) -> int:
+        """Number of maximal linear segments."""
+        return len(self.breakpoints()) + 1
+
+    def is_convex(self) -> bool:
+        """Whether slopes are non-decreasing (Sect. 4.2.5's conclusion)."""
+        slopes = self.slopes()
+        return all(
+            b >= a - _SLOPE_TOL * max(1.0, abs(a), abs(b))
+            for a, b in zip(slopes, slopes[1:])
+        )
+
+
+def ideal_transfer_pwl(
+    volume_bytes: float,
+    memory: MemoryHierarchy,
+    derate: float,
+    domain: tuple[float, float],
+) -> PiecewiseLinear:
+    """The ideal (hard-``max``) transfer cycles of Eq. (4) as a PWL."""
+    if volume_bytes == 0:
+        return PiecewiseLinear.constant(0.0, domain)
+    a, c = memory.transfer_cycle_coefficients(volume_bytes, derate)
+    saturated = PiecewiseLinear.linear(a, 0.0, domain)
+    port_limited = PiecewiseLinear.constant(c, domain)
+    overhead = PiecewiseLinear.linear(memory.transfer_overhead_us, 0.0, domain)
+    return saturated.maximum(port_limited) + overhead
+
+
+def ideal_cycle_pwl(
+    spec: OperatorSpec,
+    memory: MemoryHierarchy,
+    domain: tuple[float, float] = (1000.0, 1800.0),
+) -> PiecewiseLinear:
+    """The ideal operator cycle function (Eqs. 5-8, hard maxima) as a PWL.
+
+    Raises:
+        ConfigurationError: for non-compute operators.
+    """
+    if not spec.is_compute or spec.compute is None:
+        raise ConfigurationError(
+            f"operator {spec.name!r} is not a compute operator"
+        )
+    compute = spec.compute
+    n = compute.n_blocks
+    load = ideal_transfer_pwl(
+        compute.ld_bytes_per_block, memory, compute.bandwidth_derate, domain
+    )
+    store = ideal_transfer_pwl(
+        compute.st_bytes_per_block, memory, compute.bandwidth_derate, domain
+    )
+    core = PiecewiseLinear.constant(compute.core_cycles_per_block, domain)
+    scenario = compute.scenario
+    if scenario is Scenario.PINGPONG_FREE_INDEPENDENT:
+        pipeline = (
+            load + store + core.scaled(n)
+            + load.maximum(store).scaled(n - 1)
+        )
+    elif scenario is Scenario.PINGPONG_FREE_DEPENDENT:
+        pipeline = (load + core + store).scaled(n)
+    elif scenario is Scenario.PINGPONG_INDEPENDENT:
+        pipeline = (
+            load + core + store
+            + load.maximum(store).maximum(core).scaled(n - 1)
+        )
+    else:
+        chains_a = (n + 1) // 2
+        chains_b = n - chains_a
+        serial = load + core + store
+        end_a = serial.scaled(chains_a)
+        end_b = load.maximum(store).maximum(core) + serial.scaled(chains_b)
+        pipeline = end_a.maximum(end_b)
+    overhead = PiecewiseLinear.linear(compute.fixed_overhead_us, 0.0, domain)
+    return pipeline + overhead

@@ -1,0 +1,238 @@
+"""Offline power-model calibration (paper Sect. 5.3-5.5, Fig. 11).
+
+The offline phase extracts hardware-level constants once per accelerator
+model, using only the instruments a real deployment has (idle measurements,
+a test load, and the post-load cooldown):
+
+* **Idle power** at two frequencies solves the load-independent model
+  ``P_idle(f) = beta * f * V^2 + theta * V`` exactly (Sect. 5.3) — for the
+  AICore rail and for the whole SoC.
+* **Gamma** (the leakage-temperature slope): after a test load completes,
+  power and temperature decay gradually; the slope ``dP/dAT = gamma * V``
+  of the cooldown trace gives gamma (Sect. 5.4.2).
+* **k** (the temperature-power slope of Eq. 15): running several loads and
+  line-fitting chip temperature against SoC power (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.analysis.linear import LineFit, fit_line, solve_two_basis
+from repro.errors import CalibrationError
+from repro.npu.device import NpuDevice
+from repro.npu.setfreq import FrequencyTimeline
+from repro.npu.telemetry import PowerTelemetry
+from repro.npu.voltage import VoltageCurve
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class IdlePowerFit:
+    """Fitted load-independent power ``P_idle(f) = beta f V^2 + theta V``."""
+
+    beta_w_per_ghz_v2: float
+    theta_w_per_v: float
+
+    def predict(self, freq_mhz: float, volts: float) -> float:
+        """Idle power at a frequency/voltage point."""
+        f_ghz = freq_mhz / 1000.0
+        return self.beta_w_per_ghz_v2 * f_ghz * volts * volts + (
+            self.theta_w_per_v * volts
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """Everything the offline phase extracts for one accelerator model."""
+
+    voltage: VoltageCurve
+    aicore_idle: IdlePowerFit
+    soc_idle: IdlePowerFit
+    #: Leakage-temperature coefficients, in W per (degree * volt).
+    gamma_aicore_w_per_c_v: float
+    gamma_soc_w_per_c_v: float
+    #: Equilibrium temperature slope of Eq. (15), degrees per SoC watt.
+    k_celsius_per_watt: float
+    ambient_celsius: float
+
+    def volts(self, freq_mhz: float) -> float:
+        """Supply voltage at ``freq_mhz`` per the measured V-f curve."""
+        return float(self.voltage.volts(freq_mhz))
+
+    def without_thermal_term(self) -> "CalibrationConstants":
+        """The gamma = 0 ablation of Sect. 7.3 (no temperature modelling)."""
+        return replace(
+            self, gamma_aicore_w_per_c_v=0.0, gamma_soc_w_per_c_v=0.0
+        )
+
+
+def calibrate_idle_power(
+    device: NpuDevice,
+    telemetry: PowerTelemetry,
+    freqs_mhz: tuple[float, float] | None = None,
+    settle_us: float = 2_000_000.0,
+) -> tuple[IdlePowerFit, IdlePowerFit]:
+    """Measure idle power at two frequencies and solve (beta, theta).
+
+    The default measurement points are the device grid's extremes (the
+    paper uses 1000 and 1800 MHz on the Ascend NPU).
+
+    Returns:
+        ``(aicore_fit, soc_fit)``.
+
+    Raises:
+        CalibrationError: if the two frequencies coincide.
+    """
+    if freqs_mhz is None:
+        grid = device.npu.frequencies
+        freqs_mhz = (grid.min_mhz, grid.max_mhz)
+    f1, f2 = freqs_mhz
+    if f1 == f2:
+        raise CalibrationError("idle calibration needs two distinct frequencies")
+    voltage = device.npu.voltage
+    measurements = []
+    for freq in freqs_mhz:
+        # Idle near ambient: let the chip sit briefly, then read the meters.
+        chunks = device.run_idle(settle_us, freq, steps=20)
+        measurement = telemetry.measure_chunks(chunks)
+        volts = float(voltage.volts(freq))
+        measurements.append((freq, volts, measurement))
+    fits = []
+    for attr in ("aicore_avg_watts", "soc_avg_watts"):
+        (fa, va, ma), (fb, vb, mb) = measurements
+        beta, theta = solve_two_basis(
+            fa,
+            getattr(ma, attr),
+            fb,
+            getattr(mb, attr),
+            lambda f: (f / 1000.0) * float(voltage.volts(f)) ** 2,
+            lambda f: float(voltage.volts(f)),
+        )
+        fits.append(IdlePowerFit(beta_w_per_ghz_v2=beta, theta_w_per_v=theta))
+    return fits[0], fits[1]
+
+
+@dataclass(frozen=True)
+class CooldownObservation:
+    """The gamma-extraction result from one post-load cooldown."""
+
+    gamma_aicore_w_per_c_v: float
+    gamma_soc_w_per_c_v: float
+    aicore_fit: LineFit
+    soc_fit: LineFit
+
+
+def extract_gamma(
+    device: NpuDevice,
+    telemetry: PowerTelemetry,
+    test_load: Trace,
+    cooldown_us: float = 60_000_000.0,
+    cooldown_freq_mhz: float | None = None,
+    steps: int = 600,
+) -> CooldownObservation:
+    """Run a test load, then fit power-vs-AT slopes during the cooldown.
+
+    The chip heats under the load; after it completes, power decays with
+    temperature.  The decay slope ``dP/dAT`` equals ``gamma * V`` at the
+    cooldown operating point (Sect. 5.4.2).  The chip never cools all the
+    way to ambient (idle power keeps it tens of degrees up), so the usable
+    AT span is small and many samples are needed to beat sensor noise —
+    hence the dense default sampling (one reading per 100 ms).
+
+    Raises:
+        CalibrationError: if the load barely heats the chip (degenerate fit).
+    """
+    if cooldown_freq_mhz is None:
+        cooldown_freq_mhz = device.npu.frequencies.min_mhz
+    loaded = device.run_stable(test_load)
+    chunks = device.run_idle(
+        cooldown_us,
+        cooldown_freq_mhz,
+        initial_celsius=loaded.end_celsius,
+        steps=steps,
+    )
+    samples = telemetry.sample_chunks(
+        chunks, interval_us=cooldown_us / steps
+    )
+    ambient = device.npu.thermal.ambient_celsius
+    deltas = [s.celsius - ambient for s in samples]
+    if max(deltas) - min(deltas) < 2.0:
+        raise CalibrationError(
+            "test load did not heat the chip enough for gamma extraction "
+            f"(AT span {max(deltas) - min(deltas):.2f} C)"
+        )
+    volts = float(device.npu.voltage.volts(cooldown_freq_mhz))
+    aicore_fit = fit_line(deltas, [s.aicore_watts for s in samples])
+    soc_fit = fit_line(deltas, [s.soc_watts for s in samples])
+    return CooldownObservation(
+        gamma_aicore_w_per_c_v=aicore_fit.slope / volts,
+        gamma_soc_w_per_c_v=soc_fit.slope / volts,
+        aicore_fit=aicore_fit,
+        soc_fit=soc_fit,
+    )
+
+
+def extract_temperature_slope(
+    device: NpuDevice,
+    telemetry: PowerTelemetry,
+    loads: Sequence[Trace],
+    freqs_mhz: Sequence[float] | None = None,
+) -> LineFit:
+    """Fit Eq. (15)'s ``T = T0 + k * P_soc`` across loads (Fig. 10 data).
+
+    Each (load, frequency) pair contributes one equilibrium point of SoC
+    power and chip temperature.
+
+    Raises:
+        CalibrationError: with fewer than two loads/frequency combinations.
+    """
+    if freqs_mhz is None:
+        grid = device.npu.frequencies
+        mid = grid.nearest((grid.min_mhz + grid.max_mhz) / 2.0)
+        freqs_mhz = (grid.min_mhz, mid, grid.max_mhz)
+    points: list[tuple[float, float]] = []
+    for load in loads:
+        for freq in freqs_mhz:
+            result = device.run_stable(
+                load, FrequencyTimeline.constant(freq)
+            )
+            measurement = telemetry.measure(result)
+            points.append(
+                (measurement.soc_avg_watts, measurement.avg_celsius)
+            )
+    if len(points) < 2:
+        raise CalibrationError("need at least two load points to fit k")
+    return fit_line([p for p, _ in points], [t for _, t in points])
+
+
+def run_offline_calibration(
+    device: NpuDevice,
+    telemetry: PowerTelemetry,
+    test_load: Trace,
+    k_loads: Sequence[Trace] | None = None,
+) -> CalibrationConstants:
+    """The complete offline phase of Fig. 11.
+
+    Args:
+        device: the accelerator being characterised.
+        telemetry: the power-measurement instrument.
+        test_load: a load that heats the chip for gamma extraction.
+        k_loads: loads for the temperature-slope fit; defaults to the test
+            load alone (several frequencies still give several points).
+    """
+    aicore_idle, soc_idle = calibrate_idle_power(device, telemetry)
+    cooldown = extract_gamma(device, telemetry, test_load)
+    k_fit = extract_temperature_slope(
+        device, telemetry, list(k_loads) if k_loads else [test_load]
+    )
+    return CalibrationConstants(
+        voltage=device.npu.voltage,
+        aicore_idle=aicore_idle,
+        soc_idle=soc_idle,
+        gamma_aicore_w_per_c_v=cooldown.gamma_aicore_w_per_c_v,
+        gamma_soc_w_per_c_v=cooldown.gamma_soc_w_per_c_v,
+        k_celsius_per_watt=k_fit.slope,
+        ambient_celsius=device.npu.thermal.ambient_celsius,
+    )

@@ -1,0 +1,165 @@
+"""Power-model validation (paper Sect. 7.3, Table 2).
+
+Builds per-load power models from the 1000/1800 MHz reference data and
+validates predictions at the remaining frequencies, reporting the error
+buckets of Table 2 ``(0,1%], (1%,5%], (5%,10%], (10%,+inf)`` and the
+average error — plus the gamma = 0 ablation showing what ignoring the
+temperature term costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import bucket_fractions, summarize_errors
+from repro.errors import CalibrationError
+from repro.npu.device import NpuDevice
+from repro.npu.setfreq import FrequencyTimeline
+from repro.npu.telemetry import PowerTelemetry
+from repro.power.calibration import CalibrationConstants
+from repro.power.model import (
+    LoadPowerModel,
+    PowerObservation,
+    fit_load_power_model,
+)
+from repro.workloads.trace import Trace
+
+#: Table 2's error-bucket edges (fractions).
+TABLE2_BUCKET_EDGES = (0.01, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class PowerPredictionRecord:
+    """One (load, frequency, rail) prediction versus measurement."""
+
+    load: str
+    freq_mhz: float
+    rail: str
+    predicted_watts: float
+    measured_watts: float
+
+    @property
+    def error(self) -> float:
+        """Absolute relative error."""
+        return abs(self.predicted_watts - self.measured_watts) / (
+            self.measured_watts
+        )
+
+
+@dataclass(frozen=True)
+class PowerValidation:
+    """Aggregate power-model validation outcome (the Table 2 numbers)."""
+
+    records: tuple[PowerPredictionRecord, ...]
+
+    @property
+    def mean_error(self) -> float:
+        """Average absolute relative error across all predictions."""
+        return summarize_errors([r.error for r in self.records]).mean
+
+    def bucket_table(self) -> dict[str, float]:
+        """Table 2's presentation: fraction of predictions per error range."""
+        fractions = bucket_fractions(
+            [r.error for r in self.records], TABLE2_BUCKET_EDGES
+        )
+        labels = ("(0, 1%]", "(1%, 5%]", "(5%, 10%]", "(10%, +inf)")
+        return dict(zip(labels, fractions))
+
+    def errors_for(self, load: str) -> list[PowerPredictionRecord]:
+        """All validation records of one load."""
+        return [r for r in self.records if r.load == load]
+
+
+def measure_load_at_frequencies(
+    device: NpuDevice,
+    telemetry: PowerTelemetry,
+    trace: Trace,
+    freqs_mhz: Sequence[float],
+) -> dict[float, PowerObservation]:
+    """Run a load at several fixed frequencies and measure average power."""
+    observations: dict[float, PowerObservation] = {}
+    for freq in freqs_mhz:
+        result = device.run_stable(trace, FrequencyTimeline.constant(freq))
+        measurement = telemetry.measure(result)
+        observations[freq] = PowerObservation(
+            freq_mhz=freq,
+            aicore_watts=measurement.aicore_avg_watts,
+            soc_watts=measurement.soc_avg_watts,
+        )
+    return observations
+
+
+def validate_power_model(
+    loads: Sequence[Trace],
+    device: NpuDevice,
+    telemetry: PowerTelemetry,
+    constants: CalibrationConstants,
+    reference_freqs_mhz: tuple[float, float] | None = None,
+    validation_freqs_mhz: Sequence[float] | None = None,
+) -> PowerValidation:
+    """The Sect. 7.3 protocol over a set of loads.
+
+    For each load: measure at the reference frequencies (the grid extremes
+    by default, the paper's 1000/1800 MHz protocol), fit the model, then
+    predict and compare at the validation frequencies.
+
+    Raises:
+        CalibrationError: if no validation frequencies are available.
+    """
+    grid = device.npu.frequencies
+    if reference_freqs_mhz is None:
+        reference_freqs_mhz = (grid.min_mhz, grid.max_mhz)
+    if validation_freqs_mhz is None:
+        validation_freqs_mhz = [
+            f
+            for f in device.npu.frequencies.points
+            if f not in reference_freqs_mhz
+        ]
+    if not validation_freqs_mhz:
+        raise CalibrationError("no validation frequencies")
+    records: list[PowerPredictionRecord] = []
+    for trace in loads:
+        all_freqs = [*reference_freqs_mhz, *validation_freqs_mhz]
+        observations = measure_load_at_frequencies(
+            device, telemetry, trace, all_freqs
+        )
+        model = fit_load_power_model(
+            trace.name,
+            [observations[f] for f in reference_freqs_mhz],
+            constants,
+        )
+        records.extend(
+            _validation_records(model, observations, validation_freqs_mhz)
+        )
+    return PowerValidation(records=tuple(records))
+
+
+def _validation_records(
+    model: LoadPowerModel,
+    observations: dict[float, PowerObservation],
+    freqs: Sequence[float],
+) -> list[PowerPredictionRecord]:
+    records = []
+    for freq in freqs:
+        prediction = model.predict(freq)
+        measured = observations[freq]
+        records.append(
+            PowerPredictionRecord(
+                load=model.name,
+                freq_mhz=freq,
+                rail="aicore",
+                predicted_watts=prediction.aicore_watts,
+                measured_watts=measured.aicore_watts,
+            )
+        )
+        records.append(
+            PowerPredictionRecord(
+                load=model.name,
+                freq_mhz=freq,
+                rail="soc",
+                predicted_watts=prediction.soc_watts,
+                measured_watts=measured.soc_watts,
+            )
+        )
+    return records

@@ -1,0 +1,160 @@
+"""Online power-model construction and prediction (paper Sect. 5.4-5.5).
+
+With the offline constants in hand, the online phase characterises a
+specific load (a whole training iteration, or a single operator): measure
+its power at reference frequencies, strip the idle and thermal components,
+and solve the load-dependent coefficient ``alpha`` of Eq. (14).
+
+Prediction at a new frequency needs the temperature rise ``AT``, which
+itself depends on SoC power; the paper's Sect. 5.4.2 iterative scheme
+(``AT = 0 -> P_soc -> AT -> ...``) is used and converges in a handful of
+steps (no more than four in the paper's experiments — ours too, asserted
+in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.iteration import fixed_point_iterate
+from repro.errors import CalibrationError
+from repro.power.calibration import CalibrationConstants
+
+
+@dataclass(frozen=True)
+class PowerObservation:
+    """One measured operating point of a load."""
+
+    freq_mhz: float
+    aicore_watts: float
+    soc_watts: float
+
+
+@dataclass(frozen=True)
+class PowerPrediction:
+    """Model output for one load at one frequency."""
+
+    freq_mhz: float
+    aicore_watts: float
+    soc_watts: float
+    delta_celsius: float
+    #: Iterations the AT fixed point needed (paper: at most 4).
+    thermal_iterations: int
+
+
+@dataclass(frozen=True)
+class LoadPowerModel:
+    """A fitted power model for one load (workload or operator).
+
+    Attributes:
+        name: the load's identifier.
+        alpha_aicore: load-dependent AICore coefficient (W per GHz V^2).
+        alpha_soc: load-dependent SoC coefficient.
+        constants: the offline calibration this model was built against.
+    """
+
+    name: str
+    alpha_aicore: float
+    alpha_soc: float
+    constants: CalibrationConstants
+
+    def predict(
+        self, freq_mhz: float, tol: float = 1e-3, max_iterations: int = 25
+    ) -> PowerPrediction:
+        """Predict AICore and SoC power at ``freq_mhz``.
+
+        Solves the Sect. 5.4.2 circular dependency between SoC power and
+        temperature rise by fixed-point iteration starting from ``AT = 0``.
+        """
+        constants = self.constants
+        volts = constants.volts(freq_mhz)
+        f_ghz = freq_mhz / 1000.0
+        soc_base = self.alpha_soc * f_ghz * volts * volts + (
+            constants.soc_idle.predict(freq_mhz, volts)
+        )
+
+        def soc_power_at(delta: float) -> float:
+            return soc_base + constants.gamma_soc_w_per_c_v * delta * volts
+
+        result = fixed_point_iterate(
+            lambda delta: constants.k_celsius_per_watt * soc_power_at(delta),
+            initial=0.0,
+            tol=tol,
+            max_iterations=max_iterations,
+        )
+        delta = result.value
+        soc = soc_power_at(delta)
+        aicore = (
+            self.alpha_aicore * f_ghz * volts * volts
+            + constants.aicore_idle.predict(freq_mhz, volts)
+            + constants.gamma_aicore_w_per_c_v * delta * volts
+        )
+        return PowerPrediction(
+            freq_mhz=freq_mhz,
+            aicore_watts=aicore,
+            soc_watts=soc,
+            delta_celsius=delta,
+            thermal_iterations=result.iterations,
+        )
+
+    def predict_many(self, freqs_mhz: Sequence[float]) -> list[PowerPrediction]:
+        """Predictions across a frequency sweep."""
+        return [self.predict(freq) for freq in freqs_mhz]
+
+
+def solve_alpha(
+    observation: PowerObservation, constants: CalibrationConstants
+) -> tuple[float, float]:
+    """Solve Eq. (14) for ``(alpha_aicore, alpha_soc)`` from one measurement.
+
+    The measured SoC power pins the temperature rise (``AT = k * P_soc``),
+    after which both alphas follow by subtracting the idle and thermal
+    components and dividing by ``f V^2``.
+    """
+    volts = constants.volts(observation.freq_mhz)
+    f_ghz = observation.freq_mhz / 1000.0
+    fv2 = f_ghz * volts * volts
+    if fv2 <= 0:
+        raise CalibrationError(f"bad operating point: f={observation.freq_mhz}")
+    delta = constants.k_celsius_per_watt * observation.soc_watts
+    alpha_aicore = (
+        observation.aicore_watts
+        - constants.aicore_idle.predict(observation.freq_mhz, volts)
+        - constants.gamma_aicore_w_per_c_v * delta * volts
+    ) / fv2
+    alpha_soc = (
+        observation.soc_watts
+        - constants.soc_idle.predict(observation.freq_mhz, volts)
+        - constants.gamma_soc_w_per_c_v * delta * volts
+    ) / fv2
+    return alpha_aicore, alpha_soc
+
+
+def fit_load_power_model(
+    name: str,
+    observations: Sequence[PowerObservation],
+    constants: CalibrationConstants,
+) -> LoadPowerModel:
+    """Build a load model from measurements at one or more frequencies.
+
+    The paper builds its models from the 1000 MHz and 1800 MHz data
+    (Sect. 7.3); each observation yields an alpha estimate via Eq. (14) and
+    the estimates are averaged.
+
+    Raises:
+        CalibrationError: with no observations.
+    """
+    if not observations:
+        raise CalibrationError(f"no observations for load {name!r}")
+    alphas = [solve_alpha(obs, constants) for obs in observations]
+    alpha_aicore = float(np.mean([a for a, _ in alphas]))
+    alpha_soc = float(np.mean([s for _, s in alphas]))
+    return LoadPowerModel(
+        name=name,
+        alpha_aicore=alpha_aicore,
+        alpha_soc=alpha_soc,
+        constants=constants,
+    )

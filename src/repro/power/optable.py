@@ -1,0 +1,139 @@
+"""Per-operator power coefficients for DVFS strategy scoring.
+
+Section 5.4.1 notes that differing input shapes produce different power
+patterns even within one operator type, so an individual ``alpha`` must be
+calculated for each operator.  This module builds that table from
+per-operator power readings at the reference frequencies, and exposes the
+vectorised lookups the genetic algorithm needs.
+
+Thermal leakage is *not* applied per operator here: the temperature rise is
+a chip-global quantity, so strategy scoring applies the Sect. 5.4.2
+iterative AT solve once per candidate strategy over the aggregate power
+(see :mod:`repro.dvfs.scoring`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.power.calibration import CalibrationConstants
+from repro.power.model import PowerObservation, solve_alpha
+
+
+@dataclass(frozen=True)
+class OperatorPowerEntry:
+    """Fitted load-dependent coefficients of one operator."""
+
+    name: str
+    alpha_aicore: float
+    alpha_soc: float
+
+
+@dataclass(frozen=True)
+class OperatorPowerTable:
+    """Per-operator alphas plus the shared calibration constants."""
+
+    constants: CalibrationConstants
+    entries: Mapping[str, OperatorPowerEntry]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, name: str) -> OperatorPowerEntry:
+        """The coefficients of one operator.
+
+        Raises:
+            CalibrationError: for an unknown operator name.
+        """
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise CalibrationError(
+                f"no power coefficients for operator {name!r}"
+            ) from None
+
+    def aicore_power_matrix(
+        self, names: Sequence[str], freqs_mhz: Sequence[float]
+    ) -> np.ndarray:
+        """AICore power (active + idle, no thermal term) per (op, freq).
+
+        Shape ``(len(names), len(freqs))``; the global thermal term is
+        added by the scorer after the chip-level AT solve.
+        """
+        return self._power_matrix(names, freqs_mhz, soc=False)
+
+    def soc_power_matrix(
+        self, names: Sequence[str], freqs_mhz: Sequence[float]
+    ) -> np.ndarray:
+        """SoC power (active + idle, no thermal term) per (op, freq)."""
+        return self._power_matrix(names, freqs_mhz, soc=True)
+
+    def _power_matrix(
+        self, names: Sequence[str], freqs_mhz: Sequence[float], soc: bool
+    ) -> np.ndarray:
+        constants = self.constants
+        freqs = np.asarray(freqs_mhz, dtype=float)
+        volts = np.array([constants.volts(f) for f in freqs])
+        fv2 = (freqs / 1000.0) * volts * volts
+        idle_fit = constants.soc_idle if soc else constants.aicore_idle
+        idle = np.array(
+            [idle_fit.predict(f, v) for f, v in zip(freqs, volts)]
+        )
+        alphas = np.array(
+            [
+                self.entry(name).alpha_soc if soc else self.entry(name).alpha_aicore
+                for name in names
+            ]
+        )
+        return alphas[:, None] * fv2[None, :] + idle[None, :]
+
+
+def build_operator_power_table(
+    readings_by_freq: Mapping[float, Mapping[str, tuple[float, float]]],
+    constants: CalibrationConstants,
+) -> OperatorPowerTable:
+    """Fit per-operator alphas from per-operator power readings.
+
+    Args:
+        readings_by_freq: for each reference frequency, the telemetry's
+            per-operator ``(aicore, soc)`` power readings
+            (see ``PowerTelemetry.measure_operator_power``).
+        constants: the offline calibration.
+
+    Operators appearing at only some frequencies use the observations they
+    have.  Negative alpha estimates (possible on near-idle operators under
+    sensor noise) are clamped to zero.
+
+    Raises:
+        CalibrationError: if no readings are given.
+    """
+    if not readings_by_freq:
+        raise CalibrationError("no power readings given")
+    names: set[str] = set()
+    for readings in readings_by_freq.values():
+        names.update(readings)
+    entries: dict[str, OperatorPowerEntry] = {}
+    for name in names:
+        estimates: list[tuple[float, float]] = []
+        for freq, readings in readings_by_freq.items():
+            reading = readings.get(name)
+            if reading is None:
+                continue
+            observation = PowerObservation(
+                freq_mhz=freq,
+                aicore_watts=reading[0],
+                soc_watts=reading[1],
+            )
+            estimates.append(solve_alpha(observation, constants))
+        if not estimates:
+            continue
+        alpha_aicore = max(0.0, float(np.mean([a for a, _ in estimates])))
+        alpha_soc = max(0.0, float(np.mean([s for _, s in estimates])))
+        entries[name] = OperatorPowerEntry(
+            name=name, alpha_aicore=alpha_aicore, alpha_soc=alpha_soc
+        )
+    return OperatorPowerTable(constants=constants, entries=entries)

@@ -1,0 +1,71 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a single, consistent set of units everywhere:
+
+===========================  =========================================
+Quantity                     Unit
+===========================  =========================================
+Core frequency ``f``         MHz (megahertz)
+Time / durations             microseconds (us)
+Cycles                       dimensionless; ``cycles = time_us * f_mhz``
+Voltage ``V``                volts
+Power                        watts
+Temperature                  degrees Celsius
+Memory volume                bytes
+Bandwidth                    bytes per microsecond (B/us == MB/s)
+===========================  =========================================
+
+Microseconds x megahertz equals cycles exactly, which keeps the paper's
+``Cycle(f) = T(f) * f`` identity free of conversion constants.
+"""
+
+from __future__ import annotations
+
+US_PER_S = 1_000_000.0
+US_PER_MS = 1_000.0
+MHZ_PER_GHZ = 1_000.0
+
+#: One gigabyte per second expressed in bytes per microsecond.
+BYTES_PER_US_PER_GBPS = 1_000.0
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * US_PER_S
+
+
+def us_to_seconds(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us / US_PER_S
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * US_PER_MS
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / US_PER_MS
+
+
+def gbps_to_bytes_per_us(gbps: float) -> float:
+    """Convert gigabytes/second to bytes/microsecond."""
+    return gbps * BYTES_PER_US_PER_GBPS
+
+
+def bytes_per_us_to_gbps(bytes_per_us: float) -> float:
+    """Convert bytes/microsecond to gigabytes/second."""
+    return bytes_per_us / BYTES_PER_US_PER_GBPS
+
+
+def cycles(time_us: float, freq_mhz: float) -> float:
+    """Number of core cycles elapsed in ``time_us`` at ``freq_mhz``."""
+    return time_us * freq_mhz
+
+
+def time_us_from_cycles(cycle_count: float, freq_mhz: float) -> float:
+    """Wall time in microseconds for ``cycle_count`` cycles at ``freq_mhz``."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return cycle_count / freq_mhz

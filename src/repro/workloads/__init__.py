@@ -1,0 +1,53 @@
+"""Synthetic workload traces for the simulated NPU.
+
+Operator specs describe ground-truth execution character; trace generators
+assemble them into the training/inference iterations of the models the
+paper evaluates (GPT-3, BERT, ResNet-50/152, VGG19, ViT, DeiT, AlexNet,
+ShuffleNetV2Plus, Llama2 inference) plus single-operator micro loads for
+calibration.
+"""
+
+from repro.workloads.operator import (
+    ComputeCharacter,
+    OperatorKind,
+    OperatorSpec,
+    make_fixed_operator,
+)
+from repro.workloads.registry import (
+    PERF_VALIDATION_WORKLOADS,
+    POWER_VALIDATION_WORKLOADS,
+    generate,
+    micro_loops,
+    workload_names,
+)
+from repro.workloads.serialization import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.workloads.summary import TraceSummary, TypeShare, summarize_trace
+from repro.workloads.trace import Trace, TraceBuilder, TraceEntry, build_trace
+
+__all__ = [
+    "ComputeCharacter",
+    "OperatorKind",
+    "OperatorSpec",
+    "PERF_VALIDATION_WORKLOADS",
+    "POWER_VALIDATION_WORKLOADS",
+    "Trace",
+    "TraceBuilder",
+    "TraceEntry",
+    "TraceSummary",
+    "TypeShare",
+    "build_trace",
+    "generate",
+    "load_trace",
+    "make_fixed_operator",
+    "micro_loops",
+    "save_trace",
+    "summarize_trace",
+    "trace_from_json",
+    "trace_to_json",
+    "workload_names",
+]

@@ -1,0 +1,1 @@
+"""Workload trace generators (transformers, CNNs, inference, micro loads)."""

@@ -1,0 +1,54 @@
+"""Shared infrastructure for workload-trace generators.
+
+Generators synthesise the operator sequences of one training/inference
+iteration for the models the paper evaluates.  Real profiler traces show
+small shape-to-shape variation between layers (padding, fused epilogues,
+alignment), which matters here because it gives each operator instance its
+own fitted model, as on real hardware — :class:`ShapeJitter` provides that
+deterministic variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.rng import RngFactory
+from repro.errors import WorkloadError
+
+
+@dataclass
+class ShapeJitter:
+    """Deterministic multiplicative jitter for generator shape parameters."""
+
+    rng: np.random.Generator
+    #: Fractional spread; 0.06 means sizes vary by roughly +-6%.
+    spread: float = 0.06
+
+    def scale(self, value: float) -> float:
+        """Jitter a float parameter multiplicatively."""
+        if self.spread <= 0:
+            return value
+        factor = 1.0 + self.rng.uniform(-self.spread, self.spread)
+        return value * factor
+
+    def size(self, value: int, minimum: int = 1) -> int:
+        """Jitter an integer size, staying at or above ``minimum``."""
+        return max(minimum, int(round(self.scale(float(value)))))
+
+
+def generator_rng(workload_name: str, seed: int) -> np.random.Generator:
+    """The deterministic RNG stream for a named generator."""
+    return RngFactory(seed).generator(f"workload/{workload_name}")
+
+
+def scaled_layer_count(layers: int, scale: float, minimum: int = 1) -> int:
+    """Scale a model's layer count, keeping at least ``minimum`` layers.
+
+    The ``scale`` knob lets tests and quick benchmarks run structurally
+    identical but smaller iterations (fewer layers, same per-layer op mix).
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive: {scale}")
+    return max(minimum, int(round(layers * scale)))

@@ -1,0 +1,210 @@
+"""CNN training-iteration trace emitter.
+
+Emits one training step of a convolutional network described as a list of
+stages: each stage is a (repeated) convolution block with its
+batch-normalisation and activation operators, followed by the backward
+pass, gradient all-reduce and optimizer update.  CNN iterations are
+BN/activation heavy, which gives them a different LFC/HFC balance from the
+transformers (visible in Table 3: ResNet sees smaller AICore savings than
+BERT/GPT-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads import oplib
+from repro.workloads.generators.base import ShapeJitter, generator_rng
+from repro.workloads.trace import Trace, TraceBuilder
+
+
+@dataclass(frozen=True)
+class ConvStage:
+    """One convolutional stage of a CNN.
+
+    Attributes:
+        c_in: input channels.
+        c_out: output channels.
+        h: output feature-map height.
+        w: output feature-map width.
+        kernel: square kernel size.
+        repeats: how many times the block repeats in the stage.
+        pointwise: if True the block is a 1x1 (projection) convolution.
+    """
+
+    c_in: int
+    c_out: int
+    h: int
+    w: int
+    kernel: int = 3
+    repeats: int = 1
+    pointwise: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.c_in, self.c_out, self.h, self.w, self.repeats) < 1:
+            raise WorkloadError(f"bad conv stage: {self}")
+
+
+@dataclass(frozen=True)
+class CnnConfig:
+    """A CNN training-step description."""
+
+    name: str
+    stages: tuple[ConvStage, ...]
+    batch: int
+    classifier_width: int = 1000
+    glue_per_block: int = 6
+    comm_bytes_total: float = 100e6
+    optimizer_aicpu_us: float = 250.0
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise WorkloadError(f"CNN {self.name!r} has no stages")
+        if self.batch < 1:
+            raise WorkloadError(f"batch must be >= 1: {self.batch}")
+
+
+def build_cnn_training_trace(config: CnnConfig) -> Trace:
+    """One full CNN training iteration (forward + backward + optimizer)."""
+    rng = generator_rng(config.name, config.seed)
+    jitter = ShapeJitter(rng)
+    builder = TraceBuilder(config.name, config.description)
+    blocks = _enumerate_blocks(config)
+    for index, stage in blocks:
+        _emit_block_forward(builder, config, index, stage, jitter)
+    _emit_classifier(builder, config, jitter)
+    for index, stage in reversed(blocks):
+        _emit_block_backward(builder, config, index, stage, jitter)
+    builder.add(
+        oplib.communication(
+            f"{config.name}.allreduce", jitter.scale(config.comm_bytes_total)
+        )
+    )
+    _emit_optimizer(builder, config, jitter)
+    return builder.build()
+
+
+def _enumerate_blocks(config: CnnConfig) -> list[tuple[int, ConvStage]]:
+    blocks: list[tuple[int, ConvStage]] = []
+    index = 0
+    for stage in config.stages:
+        for _ in range(stage.repeats):
+            blocks.append((index, stage))
+            index += 1
+    return blocks
+
+
+def _emit_block_forward(
+    builder: TraceBuilder,
+    config: CnnConfig,
+    index: int,
+    stage: ConvStage,
+    jitter: ShapeJitter,
+) -> None:
+    p = f"{config.name}.b{index}.fwd"
+    kernel = 1 if stage.pointwise else stage.kernel
+    builder.add(
+        oplib.conv2d(
+            f"{p}.conv", config.batch, stage.c_in, stage.c_out,
+            jitter.size(stage.h), stage.w, kernel=kernel,
+        )
+    )
+    elements = config.batch * stage.c_out * stage.h * stage.w
+    builder.add(
+        oplib.normalization(
+            f"{p}.bn", "BNTrainingUpdate", jitter.size(elements)
+        )
+    )
+    builder.add(
+        oplib.elementwise(f"{p}.relu", "Relu", jitter.size(elements), inputs=1)
+    )
+    for i in range(config.glue_per_block):
+        builder.add(
+            oplib.scalar_glue(
+                f"{p}.glue.{i}", op_type=("Cast", "Assign", "Mul")[i % 3],
+                elements=jitter.size(2500 + 500 * (i % 5)),
+            )
+        )
+
+
+def _emit_block_backward(
+    builder: TraceBuilder,
+    config: CnnConfig,
+    index: int,
+    stage: ConvStage,
+    jitter: ShapeJitter,
+) -> None:
+    p = f"{config.name}.b{index}.bwd"
+    elements = config.batch * stage.c_out * stage.h * stage.w
+    builder.add(
+        oplib.elementwise(f"{p}.relu_grad", "ReluGrad", jitter.size(elements),
+                          inputs=2)
+    )
+    builder.add(
+        oplib.normalization(
+            f"{p}.bn_grad", "BNTrainingReduceGrad", jitter.size(elements),
+            passes=3,
+        )
+    )
+    kernel = 1 if stage.pointwise else stage.kernel
+    builder.add(
+        oplib.conv2d(
+            f"{p}.dgrad", config.batch, stage.c_out, stage.c_in,
+            jitter.size(stage.h), stage.w, kernel=kernel,
+        )
+    )
+    builder.add(
+        oplib.conv2d(
+            f"{p}.wgrad", config.batch, stage.c_in, stage.c_out,
+            jitter.size(stage.h), stage.w, kernel=kernel,
+        )
+    )
+    for i in range(max(1, config.glue_per_block // 2)):
+        builder.add(
+            oplib.scalar_glue(
+                f"{p}.glue.{i}", op_type=("Cast", "ZerosLike")[i % 2],
+                elements=jitter.size(2000 + 400 * (i % 4)),
+            )
+        )
+
+
+def _emit_classifier(
+    builder: TraceBuilder, config: CnnConfig, jitter: ShapeJitter
+) -> None:
+    last = config.stages[-1]
+    p = f"{config.name}.head"
+    builder.add(
+        oplib.reduction(
+            f"{p}.gap", "ReduceMean",
+            jitter.size(config.batch * last.c_out * last.h * last.w),
+            reduce_factor=last.h * last.w,
+        )
+    )
+    builder.add(
+        oplib.matmul(f"{p}.fc", config.batch, last.c_out, config.classifier_width)
+    )
+    builder.add(
+        oplib.softmax(f"{p}.softmax",
+                      jitter.size(config.batch * config.classifier_width))
+    )
+    builder.add(oplib.aicpu(f"{p}.loss", jitter.scale(60.0)))
+
+
+def _emit_optimizer(
+    builder: TraceBuilder, config: CnnConfig, jitter: ShapeJitter
+) -> None:
+    builder.add(oplib.aicpu(f"{config.name}.opt.prep",
+                            jitter.scale(config.optimizer_aicpu_us)))
+    params = sum(
+        s.c_in * s.c_out * (1 if s.pointwise else s.kernel) ** 2 * s.repeats
+        for s in config.stages
+    )
+    builder.add(
+        oplib.elementwise(
+            f"{config.name}.opt.sgd", "ApplyMomentum", max(1, params // 8),
+            inputs=3, flops_per_element=4.0, dtype_bytes=4,
+        )
+    )

@@ -1,0 +1,180 @@
+"""Concrete CNN workloads named in the paper.
+
+ResNet-50/152 appear in Table 3; VGG19, AlexNet, DeiT and ShuffleNetV2Plus
+appear in the performance-model validation of Sect. 7.2.  ShuffleNetV2Plus
+is generated with exactly 4,343 compute operators at ``scale=1.0`` to match
+the fitting-cost experiment of Sect. 4.3.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import oplib
+from repro.workloads.generators.base import scaled_layer_count
+from repro.workloads.generators.cnn import (
+    CnnConfig,
+    ConvStage,
+    build_cnn_training_trace,
+)
+from repro.workloads.operator import OperatorKind
+from repro.workloads.trace import Trace, TraceBuilder
+
+#: Exact compute-operator count of the ShuffleNetV2Plus trace (Sect. 4.3).
+SHUFFLENET_OPERATOR_COUNT = 4343
+
+
+def _resnet_stages(block_repeats: tuple[int, int, int, int]) -> tuple[ConvStage, ...]:
+    """Bottleneck stages of a ResNet, one ConvStage per conv position."""
+    r1, r2, r3, r4 = block_repeats
+    return (
+        ConvStage(3, 64, 112, 112, kernel=7, repeats=1),
+        ConvStage(64, 64, 56, 56, kernel=1, repeats=r1, pointwise=True),
+        ConvStage(64, 64, 56, 56, kernel=3, repeats=r1),
+        ConvStage(64, 256, 56, 56, kernel=1, repeats=r1, pointwise=True),
+        ConvStage(256, 128, 28, 28, kernel=1, repeats=r2, pointwise=True),
+        ConvStage(128, 128, 28, 28, kernel=3, repeats=r2),
+        ConvStage(128, 512, 28, 28, kernel=1, repeats=r2, pointwise=True),
+        ConvStage(512, 256, 14, 14, kernel=1, repeats=r3, pointwise=True),
+        ConvStage(256, 256, 14, 14, kernel=3, repeats=r3),
+        ConvStage(256, 1024, 14, 14, kernel=1, repeats=r3, pointwise=True),
+        ConvStage(1024, 512, 7, 7, kernel=1, repeats=r4, pointwise=True),
+        ConvStage(512, 512, 7, 7, kernel=3, repeats=r4),
+        ConvStage(512, 2048, 7, 7, kernel=1, repeats=r4, pointwise=True),
+    )
+
+
+def _scale_stages(
+    stages: tuple[ConvStage, ...], scale: float
+) -> tuple[ConvStage, ...]:
+    if scale >= 1.0:
+        return stages
+    return tuple(
+        ConvStage(
+            s.c_in, s.c_out, s.h, s.w, s.kernel,
+            scaled_layer_count(s.repeats, scale), s.pointwise,
+        )
+        for s in stages
+    )
+
+
+def resnet50_training(scale: float = 1.0, seed: int = 0, batch: int = 1024) -> Trace:
+    """One ResNet-50 training iteration (~0.32 s at 1800 MHz)."""
+    config = CnnConfig(
+        name="resnet50",
+        stages=_scale_stages(_resnet_stages((3, 4, 6, 3)), scale),
+        batch=batch,
+        comm_bytes_total=51e6,
+        seed=seed,
+        description="ResNet-50 training iteration (synthetic trace)",
+    )
+    return build_cnn_training_trace(config)
+
+
+def resnet152_training(scale: float = 1.0, seed: int = 0, batch: int = 768) -> Trace:
+    """One ResNet-152 training iteration (~0.64 s at 1800 MHz)."""
+    config = CnnConfig(
+        name="resnet152",
+        stages=_scale_stages(_resnet_stages((3, 8, 36, 3)), scale),
+        batch=batch,
+        comm_bytes_total=120e6,
+        seed=seed,
+        description="ResNet-152 training iteration (synthetic trace)",
+    )
+    return build_cnn_training_trace(config)
+
+
+def vgg19_training(scale: float = 1.0, seed: int = 0, batch: int = 128) -> Trace:
+    """One VGG-19 training iteration."""
+    stages = (
+        ConvStage(3, 64, 224, 224, repeats=1),
+        ConvStage(64, 64, 224, 224, repeats=1),
+        ConvStage(64, 128, 112, 112, repeats=2),
+        ConvStage(128, 256, 56, 56, repeats=4),
+        ConvStage(256, 512, 28, 28, repeats=4),
+        ConvStage(512, 512, 14, 14, repeats=4),
+    )
+    config = CnnConfig(
+        name="vgg19",
+        stages=_scale_stages(stages, scale),
+        batch=batch,
+        comm_bytes_total=280e6,
+        seed=seed,
+        description="VGG-19 training iteration (synthetic trace)",
+    )
+    return build_cnn_training_trace(config)
+
+
+def alexnet_training(scale: float = 1.0, seed: int = 0, batch: int = 512) -> Trace:
+    """One AlexNet training iteration."""
+    stages = (
+        ConvStage(3, 64, 55, 55, kernel=11, repeats=1),
+        ConvStage(64, 192, 27, 27, kernel=5, repeats=1),
+        ConvStage(192, 384, 13, 13, repeats=1),
+        ConvStage(384, 256, 13, 13, repeats=1),
+        ConvStage(256, 256, 13, 13, repeats=1),
+    )
+    config = CnnConfig(
+        name="alexnet",
+        stages=_scale_stages(stages, scale),
+        batch=batch,
+        classifier_width=4096,
+        comm_bytes_total=120e6,
+        seed=seed,
+        description="AlexNet training iteration (synthetic trace)",
+    )
+    return build_cnn_training_trace(config)
+
+
+def shufflenet_training(scale: float = 1.0, seed: int = 0, batch: int = 256) -> Trace:
+    """One ShuffleNetV2Plus training iteration.
+
+    At ``scale=1.0`` the trace contains exactly
+    :data:`SHUFFLENET_OPERATOR_COUNT` compute operators (the population the
+    paper's Sect. 4.3 fitting-cost comparison uses); the tail is padded
+    with small channel-shuffle glue operators to reach the exact count.
+    """
+    stages = (
+        ConvStage(3, 16, 112, 112, repeats=1),
+        ConvStage(16, 48, 56, 56, kernel=1, repeats=12, pointwise=True),
+        ConvStage(48, 48, 56, 56, kernel=3, repeats=12),
+        ConvStage(48, 96, 28, 28, kernel=1, repeats=24, pointwise=True),
+        ConvStage(96, 96, 28, 28, kernel=3, repeats=24),
+        ConvStage(96, 192, 14, 14, kernel=1, repeats=48, pointwise=True),
+        ConvStage(192, 192, 14, 14, kernel=3, repeats=48),
+        ConvStage(192, 384, 7, 7, kernel=1, repeats=24, pointwise=True),
+        ConvStage(384, 384, 7, 7, kernel=3, repeats=24),
+    )
+    config = CnnConfig(
+        name="shufflenetv2plus",
+        stages=_scale_stages(stages, scale),
+        batch=batch,
+        glue_per_block=4,
+        comm_bytes_total=15e6,
+        seed=seed,
+        description="ShuffleNetV2Plus training iteration (synthetic trace)",
+    )
+    base = build_cnn_training_trace(config)
+    if scale != 1.0:
+        return base
+    return _pad_compute_operators(base, SHUFFLENET_OPERATOR_COUNT)
+
+
+def _pad_compute_operators(trace: Trace, target: int) -> Trace:
+    """Pad a trace with shuffle glue ops until it has ``target`` compute ops."""
+    compute = sum(
+        1 for e in trace.entries if e.spec.kind is OperatorKind.COMPUTE
+    )
+    if compute > target:
+        raise AssertionError(
+            f"{trace.name} base trace already has {compute} compute ops "
+            f"(> target {target}); shrink the stage plan"
+        )
+    builder = TraceBuilder(trace.name, trace.description)
+    builder.extend(trace.entries)
+    for i in range(target - compute):
+        builder.add(
+            oplib.scalar_glue(
+                f"{trace.name}.shuffle.{i}", op_type="ChannelShuffle",
+                elements=3000 + 700 * (i % 9),
+            )
+        )
+    return builder.build()

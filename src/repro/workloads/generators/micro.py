@@ -1,0 +1,73 @@
+"""Micro-benchmark workloads: steady loops of a single operator.
+
+The paper's calibration flow runs 'test loads' — a single operator repeated
+under steady state — to characterise temperature/power behaviour (Fig. 10)
+and to validate the power model on individual operators (Softmax and Tanh
+in Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads import oplib
+from repro.workloads.operator import OperatorSpec
+from repro.workloads.trace import Trace, TraceBuilder
+
+
+def operator_loop(spec: OperatorSpec, repeats: int, name: str | None = None) -> Trace:
+    """Repeat one operator back-to-back ``repeats`` times."""
+    if repeats < 1:
+        raise WorkloadError(f"repeats must be >= 1: {repeats}")
+    builder = TraceBuilder(
+        name or f"{spec.op_type.lower()}_loop",
+        f"steady loop of {spec.name} x{repeats}",
+    )
+    builder.add_repeated(spec, repeats)
+    return builder.build()
+
+
+def softmax_loop(repeats: int = 400, elements: int = 24_000_000) -> Trace:
+    """A steady Softmax test load (Table 2 validation subject)."""
+    return operator_loop(
+        oplib.softmax("softmax_micro", elements), repeats, "softmax_loop"
+    )
+
+
+def tanh_loop(repeats: int = 400, elements: int = 24_000_000) -> Trace:
+    """A steady Tanh test load (Table 2 validation subject)."""
+    op = oplib.elementwise(
+        "tanh_micro", "Tanh", elements, inputs=1, flops_per_element=6.0
+    )
+    return operator_loop(op, repeats, "tanh_loop")
+
+
+def matmul_loop(repeats: int = 200, m: int = 4096, k: int = 4096,
+                n: int = 4096) -> Trace:
+    """A steady compute-bound MatMul test load (Fig. 10 line)."""
+    return operator_loop(
+        oplib.matmul("matmul_micro", m, k, n), repeats, "matmul_loop"
+    )
+
+
+def gelu_loop(repeats: int = 400, elements: int = 48_000_000) -> Trace:
+    """A steady memory-bound Gelu test load (Fig. 10 line)."""
+    op = oplib.elementwise(
+        "gelu_micro", "Gelu", elements, inputs=1, flops_per_element=4.0
+    )
+    return operator_loop(op, repeats, "gelu_loop")
+
+
+def mixed_calibration_load(repeats: int = 60) -> Trace:
+    """The offline 'test load' used for gamma extraction (Sect. 5.4.2).
+
+    A mixed compute/memory loop that heats the chip well above ambient so
+    the post-load cooldown exposes the leakage-temperature slope.
+    """
+    builder = TraceBuilder("calibration_load", "offline gamma test load")
+    matmul = oplib.matmul("cal_matmul", 4096, 4096, 4096)
+    gelu = oplib.elementwise("cal_gelu", "Gelu", 48_000_000, inputs=1,
+                             flops_per_element=4.0)
+    for _ in range(repeats):
+        builder.add(matmul)
+        builder.add(gelu)
+    return builder.build()

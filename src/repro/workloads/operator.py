@@ -1,0 +1,19 @@
+"""Public re-export of operator specification types.
+
+The canonical definitions live in :mod:`repro.npu.operators` (the simulator
+executes them); workload code imports them from here.
+"""
+
+from repro.npu.operators import (
+    ComputeCharacter,
+    OperatorKind,
+    OperatorSpec,
+    make_fixed_operator,
+)
+
+__all__ = [
+    "ComputeCharacter",
+    "OperatorKind",
+    "OperatorSpec",
+    "make_fixed_operator",
+]

@@ -1,0 +1,342 @@
+"""Parameterised builders for common AI operators.
+
+Each builder converts high-level workload parameters (matrix shapes, tensor
+element counts, transfer volumes) into the ground-truth
+:class:`ComputeCharacter` the simulator executes.  The conversion constants
+model an Ascend-910-class AICore array:
+
+* the cube (matrix) engines retire ``CUBE_FLOPS_PER_CYCLE`` flops per core
+  cycle across all AICores (~354 Tflop/s fp16 at 1800 MHz);
+* the vector engines retire ``VECTOR_FLOPS_PER_CYCLE`` flops per cycle.
+
+Operator families differ in where their cycles go (pipe mix), how much data
+they move per computed flop, their timeline scenario, and their fixed
+pre/post-processing overhead — these differences are exactly what makes
+some operators compute-bound (HFC candidates) and others memory-bound (LFC
+candidates) in the paper's Sect. 6 strategy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.npu.pipelines import Pipe
+from repro.npu.timeline import Scenario
+from repro.units import gbps_to_bytes_per_us
+from repro.workloads.operator import (
+    ComputeCharacter,
+    OperatorKind,
+    OperatorSpec,
+    make_fixed_operator,
+)
+
+#: Aggregate cube-engine throughput across all AICores, flops per cycle.
+CUBE_FLOPS_PER_CYCLE = 196_608.0
+#: Aggregate vector-engine throughput across all AICores, flops per cycle.
+VECTOR_FLOPS_PER_CYCLE = 6_144.0
+#: Effective inter-device link bandwidth for collectives, GB/s.
+LINK_BANDWIDTH_GBPS = 28.0
+
+#: Bounds on the number of double-buffered blocks an operator tiles into.
+_MIN_BLOCKS = 1
+_MAX_BLOCKS = 24
+#: Target core cycles per tile; controls how many blocks an op splits into.
+_TARGET_BLOCK_CYCLES = 40_000.0
+#: Target transfer volume per tile: tiles must fit the L1/L0 buffers, so
+#: memory-heavy operators split into many blocks even when their compute
+#: is tiny (this is what lets them pipeline and become Ld/St bound).
+_TARGET_BLOCK_BYTES = 3_000_000.0
+
+
+def _choose_blocks(total_core_cycles: float, total_bytes: float = 0.0) -> int:
+    """Pick a realistic tile count for a given compute and transfer size."""
+    by_compute = total_core_cycles / _TARGET_BLOCK_CYCLES
+    by_bytes = total_bytes / _TARGET_BLOCK_BYTES
+    blocks = int(round(max(by_compute, by_bytes)))
+    return max(_MIN_BLOCKS, min(_MAX_BLOCKS, blocks))
+
+
+def _character(
+    scenario: Scenario,
+    total_core_cycles: float,
+    core_mix: dict[Pipe, float],
+    total_ld_bytes: float,
+    total_st_bytes: float,
+    bandwidth_derate: float,
+    fixed_overhead_us: float,
+    n_blocks: int | None = None,
+) -> ComputeCharacter:
+    blocks = (
+        n_blocks
+        if n_blocks is not None
+        else _choose_blocks(total_core_cycles, total_ld_bytes + total_st_bytes)
+    )
+    return ComputeCharacter(
+        scenario=scenario,
+        n_blocks=blocks,
+        core_cycles_per_block=total_core_cycles / blocks,
+        core_mix=ComputeCharacter.make_mix(core_mix),
+        ld_bytes_per_block=total_ld_bytes / blocks,
+        st_bytes_per_block=total_st_bytes / blocks,
+        bandwidth_derate=bandwidth_derate,
+        fixed_overhead_us=fixed_overhead_us,
+    )
+
+
+def matmul(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    batch: int = 1,
+    dtype_bytes: int = 2,
+    bandwidth_derate: float = 1.15,
+    op_type: str = "MatMul",
+) -> OperatorSpec:
+    """A (possibly batched) matrix multiply — the canonical cube-bound op.
+
+    MatMul is the paper's example of a compute-bound operator that trades
+    ~7% performance for ~8% power under frequency reduction (Sect. 6).
+    """
+    if min(m, k, n, batch) < 1:
+        raise WorkloadError(f"matmul dims must be >= 1: {m}x{k}x{n} b{batch}")
+    flops = 2.0 * batch * m * k * n
+    core_cycles = flops / CUBE_FLOPS_PER_CYCLE
+    ld_bytes = batch * (m * k + k * n) * dtype_bytes
+    st_bytes = batch * m * n * dtype_bytes
+    character = _character(
+        scenario=Scenario.PINGPONG_INDEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.CUBE: 0.84, Pipe.MTE1: 0.11, Pipe.SCALAR: 0.05},
+        total_ld_bytes=ld_bytes,
+        total_st_bytes=st_bytes,
+        bandwidth_derate=bandwidth_derate,
+        fixed_overhead_us=1.0,
+    )
+    return OperatorSpec(name=name, op_type=op_type, compute=character)
+
+
+#: Fraction of peak cube throughput a convolution typically achieves
+#: (im2col inefficiency, edge tiles, small-channel underutilisation).
+CONV_CUBE_EFFICIENCY = 0.5
+
+
+def conv2d(
+    name: str,
+    batch: int,
+    c_in: int,
+    c_out: int,
+    h_out: int,
+    w_out: int,
+    kernel: int = 3,
+    dtype_bytes: int = 2,
+    cube_efficiency: float = CONV_CUBE_EFFICIENCY,
+) -> OperatorSpec:
+    """A 2D convolution, executed on the cube engines via im2col."""
+    if min(batch, c_in, c_out, h_out, w_out, kernel) < 1:
+        raise WorkloadError(f"conv2d dims must be >= 1 for {name!r}")
+    if not 0 < cube_efficiency <= 1:
+        raise WorkloadError(f"cube_efficiency must be in (0, 1]: {cube_efficiency}")
+    flops = 2.0 * batch * c_out * h_out * w_out * c_in * kernel * kernel
+    core_cycles = flops / (CUBE_FLOPS_PER_CYCLE * cube_efficiency)
+    input_bytes = batch * c_in * h_out * w_out * dtype_bytes * 1.3  # halo reads
+    weight_bytes = c_out * c_in * kernel * kernel * dtype_bytes
+    st_bytes = batch * c_out * h_out * w_out * dtype_bytes
+    character = _character(
+        scenario=Scenario.PINGPONG_INDEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.CUBE: 0.85, Pipe.MTE1: 0.10, Pipe.SCALAR: 0.05},
+        total_ld_bytes=input_bytes + weight_bytes,
+        total_st_bytes=st_bytes,
+        bandwidth_derate=1.2,
+        fixed_overhead_us=1.2,
+    )
+    return OperatorSpec(name=name, op_type="Conv2D", compute=character)
+
+
+def elementwise(
+    name: str,
+    op_type: str,
+    elements: int,
+    inputs: int = 2,
+    flops_per_element: float = 1.0,
+    dtype_bytes: int = 2,
+    bandwidth_derate: float = 0.85,
+) -> OperatorSpec:
+    """A vector elementwise operator (Add, Mul, RealDiv, Gelu, Tanh, ...).
+
+    Vector operators fall short of peak uncore bandwidth (launch
+    overheads, strided access); the default derate puts their saturation
+    point near 1200 MHz, so they are frequency-flat over most of the DVFS
+    range — the LFC sweet spot the paper finds sits at 1200-1300 MHz.
+
+    These move ~``inputs + 1`` tensors through the uncore per pass while
+    doing little arithmetic, so at high core frequency they saturate the
+    uncore bandwidth and become Ld/St-bound — the paper's LFC candidates.
+    """
+    if elements < 1:
+        raise WorkloadError(f"elements must be >= 1 for {name!r}")
+    core_cycles = elements * flops_per_element / VECTOR_FLOPS_PER_CYCLE
+    ld_bytes = float(inputs) * elements * dtype_bytes
+    st_bytes = float(elements * dtype_bytes)
+    character = _character(
+        scenario=Scenario.PINGPONG_INDEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.VECTOR: 0.9, Pipe.SCALAR: 0.1},
+        total_ld_bytes=ld_bytes,
+        total_st_bytes=st_bytes,
+        bandwidth_derate=bandwidth_derate,
+        fixed_overhead_us=0.5,
+    )
+    return OperatorSpec(name=name, op_type=op_type, compute=character)
+
+
+def reduction(
+    name: str,
+    op_type: str,
+    elements: int,
+    reduce_factor: int = 64,
+    flops_per_element: float = 1.5,
+    dtype_bytes: int = 2,
+) -> OperatorSpec:
+    """A reduction operator (ReduceMean, ReduceSum, Softmax denominators).
+
+    Reads a large tensor, writes a small one; the serial dependency between
+    passes makes it a PingPong-free operator in our model.
+    """
+    if elements < 1 or reduce_factor < 1:
+        raise WorkloadError(f"bad reduction parameters for {name!r}")
+    core_cycles = elements * flops_per_element / VECTOR_FLOPS_PER_CYCLE
+    character = _character(
+        scenario=Scenario.PINGPONG_FREE_INDEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.VECTOR: 0.75, Pipe.SCALAR: 0.25},
+        total_ld_bytes=float(elements * dtype_bytes),
+        total_st_bytes=float(max(1, elements // reduce_factor) * dtype_bytes),
+        bandwidth_derate=0.8,
+        fixed_overhead_us=0.6,
+    )
+    return OperatorSpec(name=name, op_type=op_type, compute=character)
+
+
+def normalization(
+    name: str,
+    op_type: str,
+    elements: int,
+    dtype_bytes: int = 2,
+    passes: int = 2,
+) -> OperatorSpec:
+    """A normalisation operator (LayerNorm, BNTrainingUpdate).
+
+    Statistics and normalisation passes depend on each other, so Ld and St
+    cannot overlap: the pingpong-dependent scenario of Sect. 4.2.4.
+    """
+    if elements < 1 or passes < 1:
+        raise WorkloadError(f"bad normalization parameters for {name!r}")
+    core_cycles = elements * passes * 2.0 / VECTOR_FLOPS_PER_CYCLE
+    character = _character(
+        scenario=Scenario.PINGPONG_DEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.VECTOR: 0.8, Pipe.SCALAR: 0.2},
+        total_ld_bytes=float(passes * elements * dtype_bytes),
+        total_st_bytes=float(elements * dtype_bytes),
+        bandwidth_derate=0.85,
+        fixed_overhead_us=0.7,
+    )
+    return OperatorSpec(name=name, op_type=op_type, compute=character)
+
+
+def softmax(name: str, elements: int, dtype_bytes: int = 2) -> OperatorSpec:
+    """Softmax: exp/sum/divide passes with a serial dependency chain."""
+    if elements < 1:
+        raise WorkloadError(f"elements must be >= 1 for {name!r}")
+    core_cycles = elements * 6.0 / VECTOR_FLOPS_PER_CYCLE
+    character = _character(
+        scenario=Scenario.PINGPONG_INDEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.VECTOR: 0.85, Pipe.SCALAR: 0.15},
+        total_ld_bytes=float(2 * elements * dtype_bytes),
+        total_st_bytes=float(elements * dtype_bytes),
+        bandwidth_derate=0.8,
+        fixed_overhead_us=0.6,
+    )
+    return OperatorSpec(name=name, op_type="SoftmaxV2", compute=character)
+
+
+def scalar_glue(
+    name: str,
+    op_type: str = "Cast",
+    elements: int = 4096,
+    dtype_bytes: int = 2,
+) -> OperatorSpec:
+    """A tiny glue operator (Cast, Reshape prep, scalar bookkeeping).
+
+    Dominated by fixed pre/post-processing — the 'no-pipeline bound' class
+    of Sect. 6.1: the sum of its pipe ratios stays below 1.  These are the
+    sub-20 us operators the paper excludes from model fitting.
+    """
+    if elements < 1:
+        raise WorkloadError(f"elements must be >= 1 for {name!r}")
+    core_cycles = max(200.0, elements / VECTOR_FLOPS_PER_CYCLE)
+    character = _character(
+        scenario=Scenario.PINGPONG_FREE_INDEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.SCALAR: 0.6, Pipe.VECTOR: 0.4},
+        total_ld_bytes=float(elements * dtype_bytes),
+        total_st_bytes=float(elements * dtype_bytes),
+        bandwidth_derate=0.8,
+        fixed_overhead_us=6.0,
+        n_blocks=1,
+    )
+    return OperatorSpec(name=name, op_type=op_type, compute=character)
+
+
+def transpose(
+    name: str, elements: int, dtype_bytes: int = 2
+) -> OperatorSpec:
+    """A data-movement operator with a poorly overlapped pipeline.
+
+    Balanced Ld/core/St costs in the serial scenario keep every pipe's
+    ratio below 0.8: the 'latency-bound' class of Sect. 6.1.
+    """
+    if elements < 1:
+        raise WorkloadError(f"elements must be >= 1 for {name!r}")
+    core_cycles = elements * 5.5 / VECTOR_FLOPS_PER_CYCLE
+    character = _character(
+        scenario=Scenario.PINGPONG_FREE_DEPENDENT,
+        total_core_cycles=core_cycles,
+        core_mix={Pipe.MTE1: 0.6, Pipe.VECTOR: 0.4},
+        total_ld_bytes=float(elements * dtype_bytes),
+        total_st_bytes=float(elements * dtype_bytes),
+        bandwidth_derate=0.7,
+        fixed_overhead_us=0.8,
+    )
+    return OperatorSpec(name=name, op_type="TransposeD", compute=character)
+
+
+def communication(
+    name: str,
+    volume_bytes: float,
+    op_type: str = "HcclAllReduce",
+    link_gbps: float = LINK_BANDWIDTH_GBPS,
+) -> OperatorSpec:
+    """A collective-communication operator (duration set by link bandwidth).
+
+    Communication runs on the HCCS links/uncore and is insensitive to the
+    AICore frequency (Table 1).
+    """
+    if volume_bytes <= 0:
+        raise WorkloadError(f"volume must be positive for {name!r}")
+    duration_us = volume_bytes / gbps_to_bytes_per_us(link_gbps)
+    return make_fixed_operator(
+        name, OperatorKind.COMMUNICATION, duration_us, op_type=op_type
+    )
+
+
+def aicpu(name: str, duration_us: float, op_type: str = "AICPU") -> OperatorSpec:
+    """An operator executed on the AICPU rather than the AICore."""
+    return make_fixed_operator(name, OperatorKind.AICPU, duration_us, op_type)
+
+
+def idle(name: str, duration_us: float) -> OperatorSpec:
+    """A scheduler-generated idle span."""
+    return make_fixed_operator(name, OperatorKind.IDLE, duration_us, "Idle")

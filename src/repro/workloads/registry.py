@@ -1,0 +1,85 @@
+"""Registry of named workload generators.
+
+Maps the workload names used throughout the experiments (and the CLI) to
+their generator callables.  Every generator accepts ``scale`` and ``seed``
+keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import cnns, llama2, micro, models
+from repro.workloads.trace import Trace
+
+
+class WorkloadGenerator(Protocol):
+    """A callable producing one iteration trace."""
+
+    def __call__(self, scale: float = 1.0, seed: int = 0) -> Trace: ...
+
+
+_REGISTRY: dict[str, Callable[..., Trace]] = {
+    "gpt3": models.gpt3_training,
+    "bert": models.bert_training,
+    "vit_base": models.vit_base_training,
+    "deit_small": models.deit_small_training,
+    "resnet50": cnns.resnet50_training,
+    "resnet152": cnns.resnet152_training,
+    "vgg19": cnns.vgg19_training,
+    "alexnet": cnns.alexnet_training,
+    "shufflenetv2plus": cnns.shufflenet_training,
+    "llama2_inference": llama2.llama2_inference,
+}
+
+#: The seven models used for performance-model validation in Sect. 7.2.
+PERF_VALIDATION_WORKLOADS: tuple[str, ...] = (
+    "resnet50",
+    "vit_base",
+    "bert",
+    "deit_small",
+    "alexnet",
+    "shufflenetv2plus",
+    "vgg19",
+)
+
+#: The workloads used for power-model validation in Sect. 7.3 (Table 2).
+POWER_VALIDATION_WORKLOADS: tuple[str, ...] = (
+    "gpt3",
+    "bert",
+    "vgg19",
+    "resnet50",
+    "vit_base",
+)
+
+
+def workload_names() -> list[str]:
+    """All registered trace-generator names."""
+    return sorted(_REGISTRY)
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0, **kwargs) -> Trace:
+    """Generate a named workload trace.
+
+    Raises:
+        WorkloadError: for an unknown workload name.
+    """
+    try:
+        generator = _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+    return generator(scale=scale, seed=seed, **kwargs)
+
+
+def micro_loops() -> dict[str, Callable[..., Trace]]:
+    """The single-operator micro workloads (calibration/validation loads)."""
+    return {
+        "softmax_loop": micro.softmax_loop,
+        "tanh_loop": micro.tanh_loop,
+        "matmul_loop": micro.matmul_loop,
+        "gelu_loop": micro.gelu_loop,
+        "calibration_load": micro.mixed_calibration_load,
+    }

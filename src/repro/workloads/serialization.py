@@ -1,0 +1,159 @@
+"""JSON (de)serialisation for operator specs and traces.
+
+Traces are the interchange format of this library: a profiled production
+workload can be exported once and optimised offline, and regression suites
+can pin exact traces.  The format is versioned and self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.npu.pipelines import Pipe
+from repro.npu.timeline import Scenario
+from repro.workloads.operator import (
+    ComputeCharacter,
+    OperatorKind,
+    OperatorSpec,
+)
+from repro.workloads.trace import Trace, TraceEntry
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+
+def spec_to_dict(spec: OperatorSpec) -> dict[str, Any]:
+    """Serialise one operator spec to plain data."""
+    payload: dict[str, Any] = {
+        "name": spec.name,
+        "op_type": spec.op_type,
+        "kind": spec.kind.value,
+    }
+    if spec.compute is not None:
+        compute = spec.compute
+        payload["compute"] = {
+            "scenario": compute.scenario.value,
+            "n_blocks": compute.n_blocks,
+            "core_cycles_per_block": compute.core_cycles_per_block,
+            "core_mix": {
+                pipe.value: fraction for pipe, fraction in compute.core_mix
+            },
+            "ld_bytes_per_block": compute.ld_bytes_per_block,
+            "st_bytes_per_block": compute.st_bytes_per_block,
+            "bandwidth_derate": compute.bandwidth_derate,
+            "fixed_overhead_us": compute.fixed_overhead_us,
+        }
+    else:
+        payload["fixed_duration_us"] = spec.fixed_duration_us
+    return payload
+
+
+def spec_from_dict(payload: dict[str, Any]) -> OperatorSpec:
+    """Deserialise one operator spec.
+
+    Raises:
+        WorkloadError: on malformed payloads.
+    """
+    try:
+        kind = OperatorKind(payload["kind"])
+        if "compute" in payload:
+            raw = payload["compute"]
+            character = ComputeCharacter(
+                scenario=Scenario(raw["scenario"]),
+                n_blocks=int(raw["n_blocks"]),
+                core_cycles_per_block=float(raw["core_cycles_per_block"]),
+                core_mix=ComputeCharacter.make_mix(
+                    {
+                        Pipe(name): float(fraction)
+                        for name, fraction in raw["core_mix"].items()
+                    }
+                ),
+                ld_bytes_per_block=float(raw["ld_bytes_per_block"]),
+                st_bytes_per_block=float(raw["st_bytes_per_block"]),
+                bandwidth_derate=float(raw["bandwidth_derate"]),
+                fixed_overhead_us=float(raw["fixed_overhead_us"]),
+            )
+            return OperatorSpec(
+                name=payload["name"],
+                op_type=payload["op_type"],
+                kind=kind,
+                compute=character,
+            )
+        return OperatorSpec(
+            name=payload["name"],
+            op_type=payload["op_type"],
+            kind=kind,
+            compute=None,
+            fixed_duration_us=float(payload["fixed_duration_us"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"malformed operator payload: {exc}") from exc
+
+
+def trace_to_json(trace: Trace) -> str:
+    """Serialise a trace (specs deduplicated) to a JSON document."""
+    specs = trace.unique_specs()
+    spec_index = {spec: i for i, spec in enumerate(specs)}
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "description": trace.description,
+        "specs": [spec_to_dict(spec) for spec in specs],
+        "entries": [
+            {
+                "spec": spec_index[entry.spec],
+                "gap_before_us": entry.gap_before_us,
+                "host_interval_us": entry.host_interval_us,
+            }
+            for entry in trace.entries
+        ],
+    }
+    return json.dumps(payload)
+
+
+def trace_from_json(document: str) -> Trace:
+    """Deserialise a trace written by :func:`trace_to_json`.
+
+    Raises:
+        WorkloadError: on malformed documents or unknown format versions.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"malformed trace document: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        specs = [spec_from_dict(raw) for raw in payload["specs"]]
+        entries = tuple(
+            TraceEntry(
+                spec=specs[int(raw["spec"])],
+                gap_before_us=float(raw.get("gap_before_us", 0.0)),
+                host_interval_us=float(raw.get("host_interval_us", 0.0)),
+            )
+            for raw in payload["entries"]
+        )
+        return Trace(
+            name=payload["name"],
+            entries=entries,
+            description=payload.get("description", ""),
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise WorkloadError(f"malformed trace document: {exc}") from exc
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(trace_to_json(trace), encoding="utf-8")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace from a JSON file."""
+    return trace_from_json(Path(path).read_text(encoding="utf-8"))

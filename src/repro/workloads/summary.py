@@ -1,0 +1,142 @@
+"""Workload inspection: where does an iteration spend its time?
+
+Before optimising a workload it helps to know its composition — per-type
+time shares, the frequency-sensitive fraction, bandwidth pressure, and the
+population of sub-20 us glue operators the paper excludes from modelling.
+:func:`summarize_trace` computes all of it from one baseline execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rng import RngFactory
+from repro.dvfs.classification import classify_operators
+from repro.npu.device import NpuDevice
+from repro.npu.profiler import CannStyleProfiler, SHORT_OPERATOR_CUTOFF_US
+from repro.npu.setfreq import FrequencyTimeline
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class TypeShare:
+    """One operator type's share of the iteration."""
+
+    op_type: str
+    count: int
+    time_us: float
+    time_share: float
+    frequency_sensitive_share: float
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Composition of one workload iteration at the baseline frequency."""
+
+    trace_name: str
+    operator_count: int
+    duration_us: float
+    aicore_avg_watts: float
+    soc_avg_watts: float
+    #: Fraction of wall time in frequency-sensitive operators (Table 1).
+    sensitive_time_fraction: float
+    #: Fraction of *operators* below the 20 us modelling cutoff.
+    short_operator_fraction: float
+    #: Fraction of wall time those short operators account for.
+    short_operator_time_fraction: float
+    by_type: tuple[TypeShare, ...]
+
+    def top_types(self, count: int = 10) -> list[TypeShare]:
+        """The ``count`` most time-consuming operator types."""
+        return sorted(
+            self.by_type, key=lambda share: share.time_us, reverse=True
+        )[:count]
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable composition report."""
+        lines = [
+            f"{self.trace_name}: {self.operator_count} operators, "
+            f"{self.duration_us / 1e6:.4f}s at baseline, "
+            f"AICore {self.aicore_avg_watts:.1f} W / "
+            f"SoC {self.soc_avg_watts:.1f} W",
+            f"  frequency-sensitive time: "
+            f"{self.sensitive_time_fraction:.1%}",
+            f"  sub-{SHORT_OPERATOR_CUTOFF_US:.0f}us operators: "
+            f"{self.short_operator_fraction:.1%} of count, "
+            f"{self.short_operator_time_fraction:.1%} of time",
+            "  top operator types by time:",
+        ]
+        for share in self.top_types(top):
+            lines.append(
+                f"    {share.op_type:<18} {share.count:>5} ops  "
+                f"{share.time_share:>6.1%} of time  "
+                f"(sensitive {share.frequency_sensitive_share:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def summarize_trace(
+    trace: Trace, device: NpuDevice, seed: int = 0
+) -> TraceSummary:
+    """Profile one baseline iteration and summarise its composition."""
+    result = device.run_stable(
+        trace, FrequencyTimeline.constant(device.npu.max_frequency_mhz)
+    )
+    profiler = CannStyleProfiler(
+        device.npu, RngFactory(seed).generator("summary-profiler")
+    )
+    report = profiler.profile(result)
+    classified = classify_operators(report.operators)
+
+    total_time = sum(op.profiled.duration_us for op in classified)
+    sensitive_time = sum(
+        op.profiled.duration_us
+        for op in classified
+        if op.frequency_sensitive
+    )
+    short_ops = [
+        op
+        for op in classified
+        if op.profiled.duration_us < SHORT_OPERATOR_CUTOFF_US
+    ]
+    short_time = sum(op.profiled.duration_us for op in short_ops)
+
+    per_type: dict[str, list] = {}
+    for op in classified:
+        per_type.setdefault(op.profiled.op_type, []).append(op)
+    shares = []
+    for op_type, members in sorted(per_type.items()):
+        type_time = sum(op.profiled.duration_us for op in members)
+        type_sensitive = sum(
+            op.profiled.duration_us
+            for op in members
+            if op.frequency_sensitive
+        )
+        shares.append(
+            TypeShare(
+                op_type=op_type,
+                count=len(members),
+                time_us=type_time,
+                time_share=type_time / total_time if total_time else 0.0,
+                frequency_sensitive_share=(
+                    type_sensitive / type_time if type_time else 0.0
+                ),
+            )
+        )
+    return TraceSummary(
+        trace_name=trace.name,
+        operator_count=trace.operator_count,
+        duration_us=result.duration_us,
+        aicore_avg_watts=result.aicore_avg_watts,
+        soc_avg_watts=result.soc_avg_watts,
+        sensitive_time_fraction=(
+            sensitive_time / total_time if total_time else 0.0
+        ),
+        short_operator_fraction=(
+            len(short_ops) / len(classified) if classified else 0.0
+        ),
+        short_operator_time_fraction=(
+            short_time / total_time if total_time else 0.0
+        ),
+        by_type=tuple(shares),
+    )

@@ -1,0 +1,171 @@
+"""Workload traces: the operator sequence of one training/inference iteration.
+
+The paper observes (Sect. 6) that long-lived AI workloads repeat the same
+iteration, so optimizing one iteration's operator sequence optimizes the
+whole run.  A :class:`Trace` is that sequence: operator instances in
+dispatch order, each with an optional host-side gap before it (scheduling
+idle time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+from repro.workloads.operator import OperatorKind, OperatorSpec
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dispatched operator instance.
+
+    Attributes:
+        spec: the operator executed.
+        gap_before_us: unconditional host-side idle time between the
+            previous operator's completion and this operator's start.
+        host_interval_us: minimum spacing between the *starts* of the
+            previous operator and this one, modelling a host that
+            dispatches at a bounded rate.  When the device outruns the
+            host, it idles until the dispatch arrives — the host-bound
+            regime of Sect. 8.4, where lowering the frequency mostly fills
+            existing idle time.  Zero means no host constraint.
+    """
+
+    spec: OperatorSpec
+    gap_before_us: float = 0.0
+    host_interval_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gap_before_us < 0:
+            raise WorkloadError(
+                f"gap_before_us must be non-negative: {self.gap_before_us}"
+            )
+        if self.host_interval_us < 0:
+            raise WorkloadError(
+                f"host_interval_us must be non-negative: {self.host_interval_us}"
+            )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered operator sequence forming one workload iteration."""
+
+    name: str
+    entries: tuple[TraceEntry, ...]
+    #: Human-readable description of the workload (model, batch, phase).
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("trace name must be non-empty")
+        if not self.entries:
+            raise WorkloadError(f"trace {self.name!r} has no entries")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    @property
+    def operator_count(self) -> int:
+        """Number of dispatched operators in the iteration."""
+        return len(self.entries)
+
+    def unique_specs(self) -> list[OperatorSpec]:
+        """Distinct operator specs, in first-appearance order."""
+        seen: dict[OperatorSpec, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.spec, None)
+        return list(seen)
+
+    def count_by_kind(self) -> dict[OperatorKind, int]:
+        """Operator counts per kind (compute/AICPU/communication/idle)."""
+        counts: dict[OperatorKind, int] = {}
+        for entry in self.entries:
+            counts[entry.spec.kind] = counts.get(entry.spec.kind, 0) + 1
+        return counts
+
+    def count_by_type(self) -> dict[str, int]:
+        """Operator counts per op_type (MatMul, Gelu, ...)."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.spec.op_type] = counts.get(entry.spec.op_type, 0) + 1
+        return counts
+
+    def total_gap_us(self) -> float:
+        """Sum of host-side gaps across the iteration."""
+        return sum(entry.gap_before_us for entry in self.entries)
+
+
+def build_trace(
+    name: str,
+    items: Iterable[OperatorSpec | TraceEntry],
+    description: str = "",
+) -> Trace:
+    """Build a trace from specs (zero gaps) and/or explicit entries."""
+    entries = []
+    for item in items:
+        if isinstance(item, TraceEntry):
+            entries.append(item)
+        elif isinstance(item, OperatorSpec):
+            entries.append(TraceEntry(spec=item))
+        else:
+            raise WorkloadError(
+                f"trace items must be OperatorSpec or TraceEntry, got "
+                f"{type(item).__name__}"
+            )
+    return Trace(name=name, entries=tuple(entries), description=description)
+
+
+@dataclass
+class TraceBuilder:
+    """Incremental trace construction used by the workload generators."""
+
+    name: str
+    description: str = ""
+    _entries: list[TraceEntry] = field(default_factory=list)
+
+    def add(self, spec: OperatorSpec, gap_before_us: float = 0.0) -> "TraceBuilder":
+        """Append one operator instance."""
+        self._entries.append(TraceEntry(spec=spec, gap_before_us=gap_before_us))
+        return self
+
+    def add_entry_with_host_interval(
+        self, spec: OperatorSpec, host_interval_us: float
+    ) -> "TraceBuilder":
+        """Append an operator whose start is paced by the host dispatcher."""
+        self._entries.append(
+            TraceEntry(spec=spec, host_interval_us=host_interval_us)
+        )
+        return self
+
+    def add_repeated(
+        self, spec: OperatorSpec, count: int, gap_before_us: float = 0.0
+    ) -> "TraceBuilder":
+        """Append ``count`` consecutive instances of the same operator."""
+        if count < 0:
+            raise WorkloadError(f"count must be non-negative: {count}")
+        for _ in range(count):
+            self.add(spec, gap_before_us)
+        return self
+
+    def extend(self, other: Iterable[TraceEntry]) -> "TraceBuilder":
+        """Append entries from another sequence."""
+        for entry in other:
+            self._entries.append(entry)
+        return self
+
+    @property
+    def pending_count(self) -> int:
+        """Number of entries accumulated so far."""
+        return len(self._entries)
+
+    def build(self) -> Trace:
+        """Finalise into an immutable :class:`Trace`."""
+        return Trace(
+            name=self.name,
+            entries=tuple(self._entries),
+            description=self.description,
+        )

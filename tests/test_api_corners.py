@@ -1,0 +1,87 @@
+"""Tests for remaining public API corners."""
+
+import pytest
+
+from repro.npu import NoiseSpec, default_npu_spec
+from repro.npu.setfreq import AnchoredFrequencyPlan, AnchoredSwitch
+from repro.perf import OperatorCycleModel
+from repro.power import LoadPowerModel
+from repro.workloads import build_trace
+from repro.workloads.trace import TraceEntry
+from tests.conftest import make_compute_op
+
+
+def test_dropped_switch_count_tracks_superseded_requests():
+    plan = AnchoredFrequencyPlan(
+        1800.0,
+        [
+            AnchoredSwitch(0, 1000.0),
+            AnchoredSwitch(1, 1200.0),
+            AnchoredSwitch(2, 1400.0),
+        ],
+        extra_delay_us=10_000.0,
+    )
+    plan.on_op_start(0, 0.0)      # in flight until t=10,000
+    plan.on_op_start(1, 100.0)    # queued
+    plan.on_op_start(2, 200.0)    # supersedes the queued request
+    assert plan.dropped_switch_count == 1
+    assert plan.frequency_at(10_000.0) == 1000.0
+    assert plan.frequency_at(20_000.0) == 1400.0  # the superseding target
+    plan.reset()
+    assert plan.dropped_switch_count == 0
+
+
+def test_predict_many_matches_pointwise(calibration):
+    model = LoadPowerModel(
+        name="x", alpha_aicore=12.0, alpha_soc=20.0, constants=calibration
+    )
+    freqs = [1000.0, 1400.0, 1800.0]
+    many = model.predict_many(freqs)
+    assert len(many) == 3
+    for prediction, freq in zip(many, freqs):
+        assert prediction.freq_mhz == freq
+        assert prediction.soc_watts == pytest.approx(
+            model.predict(freq).soc_watts
+        )
+
+
+def test_spec_frequency_properties():
+    spec = default_npu_spec()
+    assert spec.min_frequency_mhz == 1000.0
+    assert spec.max_frequency_mhz == 1800.0
+
+
+def test_with_noise_returns_modified_copy():
+    base = default_npu_spec()
+    quiet = base.with_noise(
+        NoiseSpec(
+            duration_sigma=0.0,
+            power_sigma=0.0,
+            temperature_sigma_celsius=0.0,
+            utilisation_sigma=0.0,
+        )
+    )
+    assert quiet.noise.duration_sigma == 0.0
+    assert base.noise.duration_sigma > 0.0
+    assert quiet.memory is base.memory
+
+
+def test_store_law_coefficients(npu_spec):
+    op = make_compute_op(st_bytes=2_000_000.0, derate=1.0)
+    model = OperatorCycleModel(op, npu_spec.memory)
+    law = model.store_law
+    assert law.c_cycles == pytest.approx(
+        2_000_000.0 / npu_spec.memory.core_bytes_per_cycle
+    )
+    assert law.saturation_mhz == pytest.approx(
+        npu_spec.memory.saturation_frequency()
+    )
+
+
+def test_trace_total_gap():
+    op = make_compute_op(name="gap.op")
+    trace = build_trace(
+        "gap",
+        [TraceEntry(op, gap_before_us=10.0), TraceEntry(op, gap_before_us=5.0)],
+    )
+    assert trace.total_gap_us() == pytest.approx(15.0)

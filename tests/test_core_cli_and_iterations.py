@@ -1,0 +1,147 @@
+"""Tests for the repro-optimize CLI and multi-iteration execution."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+from repro.npu import FrequencyTimeline
+from repro.npu.setfreq import AnchoredFrequencyPlan, AnchoredSwitch
+from repro.workloads import build_trace, generate, save_trace
+from tests.conftest import make_compute_op
+
+
+class TestRunIterations:
+    def test_results_per_iteration(self, ideal_device):
+        trace = build_trace(
+            "it", [make_compute_op(name=f"it.op{i}") for i in range(3)]
+        )
+        results = ideal_device.run_iterations(trace, iterations=4)
+        assert len(results) == 4
+
+    def test_thermal_state_carries_over(self, ideal_device):
+        trace = build_trace(
+            "it2", [make_compute_op(name=f"it2.op{i}") for i in range(5)]
+        )
+        results = ideal_device.run_iterations(trace, iterations=3)
+        for prev, nxt in zip(results, results[1:]):
+            assert nxt.start_celsius == pytest.approx(prev.end_celsius)
+        # The chip warms across iterations.
+        assert results[-1].end_celsius > results[0].start_celsius
+
+    def test_policy_reuse_is_stable(self, ideal_device):
+        """Sect. 6: one policy applies to every subsequent iteration —
+        the anchored plan resets per iteration and each iteration's
+        duration is identical."""
+        trace = build_trace(
+            "it3", [make_compute_op(name=f"it3.op{i}") for i in range(4)]
+        )
+        plan = AnchoredFrequencyPlan(
+            1800.0,
+            [AnchoredSwitch(1, 1000.0), AnchoredSwitch(3, 1800.0)],
+        )
+        results = ideal_device.run_iterations(trace, plan, iterations=3)
+        durations = [r.duration_us for r in results]
+        assert durations[0] == pytest.approx(durations[1])
+        assert durations[1] == pytest.approx(durations[2])
+        for result in results:
+            assert result.records[1].start_freq_mhz == 1000.0
+            assert result.records[3].start_freq_mhz == 1800.0
+
+    def test_steady_iterations_approach_equilibrium(self, ideal_device):
+        trace = build_trace(
+            "it4", [make_compute_op(name=f"it4.op{i}") for i in range(4)]
+        )
+        results = ideal_device.run_iterations(
+            trace, FrequencyTimeline.constant(1800.0), iterations=3
+        )
+        stable = ideal_device.run_stable(trace)
+        # Later iterations drift toward the equilibrium measurement.
+        gap_first = abs(results[0].aicore_avg_watts - stable.aicore_avg_watts)
+        gap_last = abs(results[-1].aicore_avg_watts - stable.aicore_avg_watts)
+        assert gap_last <= gap_first
+
+    def test_rejects_zero_iterations(self, ideal_device):
+        from repro.errors import ConfigurationError
+
+        trace = build_trace("it5", [make_compute_op(name="it5.op")])
+        with pytest.raises(ConfigurationError):
+            ideal_device.run_iterations(trace, iterations=0)
+
+
+class TestOptimizeCli:
+    def test_workload_run_and_strategy_saved(self, tmp_path, capsys):
+        out = tmp_path / "strategy.json"
+        code = main(
+            [
+                "bert", "--scale", "0.05", "--iterations", "60",
+                "--population", "40", "--save-strategy", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "loss target" in text
+        assert "strategy written" in text
+
+    def test_trace_file_input(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        save_trace(generate("bert", scale=0.05), path)
+        code = main(
+            ["--trace-file", str(path), "--iterations", "60",
+             "--population", "40"]
+        )
+        assert code == 0
+        assert "bert" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main([])
+        with pytest.raises(SystemExit):
+            main(["bert", "--trace-file", "x.json"])
+
+    def test_unknown_workload_errors(self, capsys):
+        assert main(["not_a_workload"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_trace_file_errors(self, capsys):
+        assert main(["--trace-file", "/nonexistent/trace.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["gpt3"])
+        assert args.target == 0.02
+        assert args.objective == "aicore"
+        assert args.interval_ms == 5.0
+
+
+class TestStrategyTimeline:
+    def test_render_contains_bar(self):
+        from repro.core.report import render_strategy_timeline
+        from repro.dvfs import StageKind, StagePlan, DvfsStrategy
+
+        strategy = DvfsStrategy(
+            "w", 0.02,
+            (
+                StagePlan(0.0, 10_000.0, 1800.0, StageKind.HFC, 0),
+                StagePlan(10_000.0, 10_000.0, 1000.0, StageKind.LFC, 3),
+            ),
+        )
+        text = render_strategy_timeline(strategy, width=20)
+        lines = text.splitlines()
+        assert lines[1].startswith("|") and lines[1].endswith("|")
+        assert "#" in lines[1] and "." in lines[1]
+        assert "1 SetFreq" in lines[0]
+
+    def test_single_frequency_renders_flat(self):
+        from repro.core.report import render_strategy_timeline
+        from repro.dvfs import constant_strategy
+
+        strategy = constant_strategy("w", 1500.0, 5_000.0)
+        text = render_strategy_timeline(strategy, width=10)
+        assert text.splitlines()[1] == "|" + "#" * 10 + "|"
+
+    def test_too_narrow_width(self):
+        from repro.core.report import render_strategy_timeline
+        from repro.dvfs import constant_strategy
+
+        strategy = constant_strategy("w", 1500.0, 5_000.0)
+        assert render_strategy_timeline(strategy, width=2) == "(empty strategy)"

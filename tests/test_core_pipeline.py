@@ -1,0 +1,178 @@
+"""Integration tests for the Fig. 1 end-to-end pipeline."""
+
+import pytest
+
+from repro import EnergyOptimizer, OptimizerConfig
+from repro.core.report import MeasuredMetrics, format_table
+from repro.dvfs import GaConfig
+from repro.errors import ConfigurationError
+from repro.perf import FitFunction
+from repro.workloads import generate
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return OptimizerConfig(
+        performance_loss_target=0.02,
+        ga=GaConfig(population_size=60, iterations=120, seed=0),
+    )
+
+
+@pytest.fixture(scope="module")
+def gpt3_report(quick_config):
+    optimizer = EnergyOptimizer(quick_config)
+    return optimizer.optimize(generate("gpt3", scale=0.05))
+
+
+class TestConfig:
+    def test_defaults_are_paper_settings(self):
+        config = OptimizerConfig()
+        assert config.performance_loss_target == 0.02
+        assert config.adjustment_interval_us == 5000.0
+        assert config.profile_freqs_mhz == (1000.0, 1400.0, 1800.0)
+        assert config.fit_function is FitFunction.QUADRATIC_NO_LINEAR
+        assert config.ga.population_size == 200
+        assert config.ga.iterations == 600
+        assert config.ga.mutation_rate == 0.15
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(performance_loss_target=0.0)
+
+    def test_rejects_off_grid_profile_freq(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(profile_freqs_mhz=(1000.0, 1750.0))
+
+    def test_rejects_insufficient_freqs_for_function(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(
+                fit_function=FitFunction.QUADRATIC,
+                profile_freqs_mhz=(1000.0, 1800.0),
+            )
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(objective="gpu")
+
+    def test_with_helpers(self):
+        config = OptimizerConfig()
+        assert config.with_loss_target(0.06).performance_loss_target == 0.06
+        assert config.with_interval(1e5).adjustment_interval_us == 1e5
+
+
+class TestEndToEnd:
+    def test_power_reduced_within_loss_target(self, gpt3_report):
+        assert gpt3_report.aicore_power_reduction > 0.03
+        assert gpt3_report.soc_power_reduction > 0.0
+        assert gpt3_report.performance_loss < 0.025
+
+    def test_aicore_savings_exceed_soc_savings(self, gpt3_report):
+        """The paper's headline asymmetry: AICore ~13%, SoC ~5%."""
+        assert gpt3_report.aicore_power_reduction > (
+            2.0 * gpt3_report.soc_power_reduction
+        )
+
+    def test_strategy_uses_multiple_frequencies(self, gpt3_report):
+        assert gpt3_report.setfreq_count > 2
+        assert len(gpt3_report.strategy.frequency_histogram()) >= 2
+
+    def test_lfc_below_hfc(self, gpt3_report):
+        mean_lfc = gpt3_report.strategy.mean_lfc_freq_mhz()
+        assert mean_lfc is not None and mean_lfc < 1800.0
+
+    def test_prediction_close_to_measurement(self, gpt3_report):
+        predicted = gpt3_report.predicted
+        measured = gpt3_report.under_dvfs
+        assert predicted.aicore_watts == pytest.approx(
+            measured.aicore_watts, rel=0.10
+        )
+        assert predicted.time_us / 1e6 == pytest.approx(
+            measured.iteration_seconds, rel=0.03
+        )
+
+    def test_report_row_and_summary(self, gpt3_report):
+        row = gpt3_report.table3_row()
+        assert row["model"] == "gpt3"
+        assert "aicore_reduction" in row
+        assert "gpt3" in gpt3_report.summary()
+
+    def test_search_metadata(self, gpt3_report):
+        assert gpt3_report.search.evaluations > 0
+        assert gpt3_report.stage_count > 1
+        assert gpt3_report.operator_count > 100
+
+    def test_calibration_reused(self, quick_config):
+        optimizer = EnergyOptimizer(quick_config)
+        first = optimizer.calibrate()
+        second = optimizer.calibrate()
+        assert first is second
+
+    def test_injected_calibration_used(self, quick_config):
+        donor = EnergyOptimizer(quick_config)
+        constants = donor.calibrate()
+        optimizer = EnergyOptimizer(quick_config)
+        optimizer.use_calibration(constants)
+        assert optimizer.calibrate() is constants
+
+    def test_higher_target_saves_more_power(self, quick_config):
+        trace = generate("gpt3", scale=0.05)
+        loose = EnergyOptimizer(quick_config.with_loss_target(0.10)).optimize(
+            trace
+        )
+        tight = EnergyOptimizer(quick_config.with_loss_target(0.02)).optimize(
+            trace
+        )
+        assert loose.aicore_power_reduction > tight.aicore_power_reduction
+        assert loose.performance_loss > tight.performance_loss
+
+
+class TestReportHelpers:
+    def test_measured_metrics_from_result(self, device, small_bert_trace):
+        result = device.run(small_bert_trace)
+        metrics = MeasuredMetrics.from_result(result)
+        assert metrics.iteration_seconds == pytest.approx(
+            result.duration_us / 1e6
+        )
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "22" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestSweep:
+    def test_sweep_shares_profiling(self, quick_config):
+        from repro.core import sweep_loss_targets
+
+        trace = generate("gpt3", scale=0.03)
+        sweep = sweep_loss_targets(
+            trace, (0.02, 0.06, 0.10), config=quick_config
+        )
+        assert len(sweep) == 3
+        assert sweep.savings_are_monotone()
+        losses = [r.performance_loss for r in sweep.reports]
+        assert losses == sorted(losses)
+
+    def test_report_for_and_knee(self, quick_config):
+        from repro.core import sweep_loss_targets
+
+        trace = generate("gpt3", scale=0.03)
+        sweep = sweep_loss_targets(trace, (0.02, 0.10), config=quick_config)
+        assert sweep.report_for(0.02).performance_loss_target == 0.02
+        assert sweep.knee_target() in (0.02, 0.10)
+        with pytest.raises(ConfigurationError):
+            sweep.report_for(0.5)
+
+    def test_sweep_validation(self, quick_config):
+        from repro.core import sweep_loss_targets
+
+        trace = generate("gpt3", scale=0.03)
+        with pytest.raises(ConfigurationError):
+            sweep_loss_targets(trace, (), config=quick_config)
+        with pytest.raises(ConfigurationError):
+            sweep_loss_targets(trace, (0.10, 0.02), config=quick_config)

@@ -1,0 +1,156 @@
+"""Tests for corners not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rng import RngFactory
+from repro.dvfs import GaConfig, StrategyScorer
+from repro.errors import WorkloadError
+from repro.workloads import generate
+from repro.workloads.generators.base import (
+    ShapeJitter,
+    generator_rng,
+    scaled_layer_count,
+)
+
+
+class TestGeneratorHelpers:
+    def test_scaled_layer_count_floor(self):
+        assert scaled_layer_count(96, 0.001) == 1
+        assert scaled_layer_count(96, 0.5) == 48
+        assert scaled_layer_count(96, 1.0) == 96
+
+    def test_scaled_layer_count_rejects_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            scaled_layer_count(10, 0.0)
+
+    def test_jitter_bounds(self):
+        jitter = ShapeJitter(np.random.default_rng(0), spread=0.1)
+        for _ in range(100):
+            value = jitter.scale(1000.0)
+            assert 900.0 <= value <= 1100.0
+
+    def test_jitter_size_minimum(self):
+        jitter = ShapeJitter(np.random.default_rng(0), spread=0.5)
+        assert all(jitter.size(1, minimum=1) >= 1 for _ in range(50))
+
+    def test_zero_spread_identity(self):
+        jitter = ShapeJitter(np.random.default_rng(0), spread=0.0)
+        assert jitter.scale(123.0) == 123.0
+
+    def test_generator_rng_deterministic(self):
+        a = generator_rng("w", 5).random(3)
+        b = generator_rng("w", 5).random(3)
+        assert np.array_equal(a, b)
+
+
+@given(
+    name=st.sampled_from(["bert", "resnet50", "llama2_inference"]),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=12, deadline=None)
+def test_generator_invariants(name, seed):
+    """Structural invariants over generators: positive gaps/intervals,
+    non-empty, deterministic per seed."""
+    trace = generate(name, scale=0.05, seed=seed)
+    assert trace.operator_count > 0
+    for entry in trace.entries:
+        assert entry.gap_before_us >= 0
+        assert entry.host_interval_us >= 0
+    again = generate(name, scale=0.05, seed=seed)
+    assert again.entries == trace.entries
+
+
+def test_trace_names_unique_within_trace():
+    trace = generate("gpt3", scale=0.03)
+    names = [entry.spec.name for entry in trace.entries]
+    assert len(names) == len(set(names))
+
+
+def test_whole_trace_faster_at_higher_frequency(ideal_device):
+    from repro.npu import FrequencyTimeline
+
+    trace = generate("bert", scale=0.05)
+    slow = ideal_device.run(trace, FrequencyTimeline.constant(1000.0))
+    fast = ideal_device.run(trace, FrequencyTimeline.constant(1800.0))
+    assert fast.duration_us < slow.duration_us
+    assert fast.aicore_avg_watts > slow.aicore_avg_watts
+
+
+class TestSocObjective:
+    @pytest.fixture(scope="class")
+    def soc_setup(self):
+        from repro import EnergyOptimizer, OptimizerConfig
+
+        config = OptimizerConfig(
+            objective="soc",
+            performance_loss_target=0.04,
+            ga=GaConfig(population_size=40, iterations=60, seed=1),
+        )
+        optimizer = EnergyOptimizer(config)
+        trace = generate("gpt3", scale=0.03)
+        bundle = optimizer.profile(trace)
+        models = optimizer.build_models(bundle)
+        candidates = optimizer.preprocess(bundle)
+        return optimizer, trace, models, candidates
+
+    def test_soc_scorer_baseline(self, soc_setup):
+        optimizer, trace, models, candidates = soc_setup
+        scorer = StrategyScorer(
+            trace=trace,
+            stages=candidates.stages,
+            perf_model=models.performance,
+            power_table=models.power,
+            freqs_mhz=optimizer.config.npu.frequencies.points,
+            performance_loss_target=0.04,
+            objective="soc",
+        )
+        baseline = np.full((1, scorer.stage_count), 8, dtype=int)
+        assert scorer.score(baseline)[0] == pytest.approx(2.0)
+
+    def test_soc_objective_end_to_end(self, soc_setup):
+        optimizer, trace, _, _ = soc_setup
+        report = optimizer.optimize(trace)
+        assert report.soc_power_reduction > 0
+
+    def test_soc_vs_aicore_objectives_can_differ(self, soc_setup):
+        """The two objectives normalise against different rails; both must
+        produce feasible strategies."""
+        from repro import EnergyOptimizer, OptimizerConfig
+
+        _, trace, _, _ = soc_setup
+        aicore_report = EnergyOptimizer(
+            OptimizerConfig(
+                objective="aicore",
+                performance_loss_target=0.04,
+                ga=GaConfig(population_size=40, iterations=60, seed=1),
+            )
+        ).optimize(trace)
+        assert aicore_report.performance_loss < 0.05
+
+
+class TestExperimentBaseFormatting:
+    def test_fmt_float_list(self):
+        from repro.experiments.base import _fmt
+
+        assert _fmt([0.123456, 1.0]) == "[0.1235, 1]"
+        assert _fmt(0.125) == "0.125"
+        assert _fmt("x") == "x"
+
+    def test_result_render_without_rows(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="e", title="t", paper_reference={}, measured={}
+        )
+        assert "== e: t ==" in result.render()
+
+
+class TestRngFactorySeedIsolation:
+    def test_profiler_and_telemetry_streams_differ(self):
+        factory = RngFactory(0)
+        a = factory.generator("profiler").random(4)
+        b = factory.generator("telemetry").random(4)
+        assert not np.array_equal(a, b)

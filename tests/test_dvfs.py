@@ -1,0 +1,579 @@
+"""Tests for classification, preprocessing, scoring, GA, strategy, executor."""
+
+import numpy as np
+import pytest
+
+from repro.dvfs import (
+    Bottleneck,
+    DvfsExecutor,
+    DvfsStrategy,
+    GaConfig,
+    StageKind,
+    StagePlan,
+    StrategyScorer,
+    bottleneck_histogram,
+    classify_operator,
+    classify_operators,
+    constant_strategy,
+    initial_population,
+    preprocess,
+    run_search,
+    strategy_from_genes,
+)
+from repro.errors import StrategyError
+from repro.npu.operators import OperatorKind
+from repro.npu.pipelines import Pipe
+from repro.npu.profiler import ProfiledOperator
+
+
+def profiled(
+    name="op",
+    ratios=None,
+    kind=OperatorKind.COMPUTE,
+    duration=100.0,
+    start=0.0,
+    gap=0.0,
+    index=0,
+    freq=1800.0,
+):
+    return ProfiledOperator(
+        index=index,
+        name=name,
+        op_type="T",
+        kind=kind,
+        start_us=start,
+        duration_us=duration,
+        gap_before_us=gap,
+        freq_mhz=freq,
+        ratios=ratios or {},
+        straddled_switch=False,
+    )
+
+
+class TestClassification:
+    def test_no_pipeline_bound(self):
+        op = profiled(ratios={Pipe.CUBE: 0.3, Pipe.MTE2: 0.4})
+        result = classify_operator(op)
+        assert result.bottleneck is Bottleneck.NO_PIPELINE
+        assert not result.frequency_sensitive
+
+    def test_latency_bound(self):
+        op = profiled(ratios={Pipe.CUBE: 0.6, Pipe.MTE2: 0.5})
+        result = classify_operator(op)
+        assert result.bottleneck is Bottleneck.LATENCY
+        assert result.frequency_sensitive
+
+    def test_core_bound(self):
+        op = profiled(ratios={Pipe.CUBE: 0.9, Pipe.MTE2: 0.3})
+        result = classify_operator(op)
+        assert result.bottleneck is Bottleneck.CORE
+        assert result.bound_pipe is Pipe.CUBE
+        assert result.frequency_sensitive
+        assert result.label == "cube-bound"
+
+    def test_uncore_bound_ld(self):
+        op = profiled(ratios={Pipe.MTE2: 0.92, Pipe.VECTOR: 0.4})
+        result = classify_operator(op)
+        assert result.bottleneck is Bottleneck.UNCORE
+        assert result.label == "Ld-bound"
+        assert not result.frequency_sensitive
+
+    def test_uncore_bound_st(self):
+        op = profiled(ratios={Pipe.MTE3: 0.95, Pipe.VECTOR: 0.4})
+        assert classify_operator(op).label == "St-bound"
+
+    def test_threshold_boundary(self):
+        # Exactly 0.8 is not 'less than 0.8': core bound.
+        op = profiled(ratios={Pipe.VECTOR: 0.8, Pipe.MTE2: 0.25})
+        assert classify_operator(op).bottleneck is Bottleneck.CORE
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (OperatorKind.AICPU, Bottleneck.AICPU),
+            (OperatorKind.COMMUNICATION, Bottleneck.COMMUNICATION),
+            (OperatorKind.IDLE, Bottleneck.IDLE),
+        ],
+    )
+    def test_noncompute_kinds(self, kind, expected):
+        result = classify_operator(profiled(kind=kind))
+        assert result.bottleneck is expected
+        assert not result.frequency_sensitive
+
+    def test_histogram(self):
+        ops = [
+            profiled(name="a", ratios={Pipe.CUBE: 0.9, Pipe.MTE2: 0.2}),
+            profiled(name="b", ratios={Pipe.MTE2: 0.9, Pipe.VECTOR: 0.2}),
+            profiled(name="c", kind=OperatorKind.AICPU),
+        ]
+        hist = bottleneck_histogram(classify_operators(ops))
+        assert hist[Bottleneck.CORE] == 1
+        assert hist[Bottleneck.UNCORE] == 1
+        assert hist[Bottleneck.AICPU] == 1
+
+
+def make_sequence(spec):
+    """Build a classified sequence from (duration, sensitive, gap) tuples."""
+    ops = []
+    clock = 0.0
+    for i, (duration, sensitive, gap) in enumerate(spec):
+        clock += gap
+        ratios = (
+            {Pipe.CUBE: 0.9, Pipe.MTE2: 0.2}
+            if sensitive
+            else {Pipe.MTE2: 0.9, Pipe.VECTOR: 0.2}
+        )
+        ops.append(
+            profiled(
+                name=f"op{i}", ratios=ratios, duration=duration,
+                start=clock, gap=gap, index=i,
+            )
+        )
+        clock += duration
+    return classify_operators(ops)
+
+
+class TestPreprocessing:
+    def test_alternating_runs_become_stages(self):
+        classified = make_sequence(
+            [(6000, True, 0), (6000, False, 0), (6000, True, 0)]
+        )
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        assert len(result.stages) == 3
+        kinds = [s.kind for s in result.stages]
+        assert kinds == [StageKind.HFC, StageKind.LFC, StageKind.HFC]
+
+    def test_short_stage_merged(self):
+        classified = make_sequence(
+            [(6000, True, 0), (500, False, 0), (6000, True, 0)]
+        )
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        # The 500 us LFC run cannot be its own candidate: it joins the
+        # following group, whose dominant kind is HFC.
+        assert result.raw_stage_count == 3
+        assert all(s.duration_us >= 5000.0 for s in result.stages)
+        assert all(s.kind is StageKind.HFC for s in result.stages)
+        # All operators survive the merge.
+        assert sum(len(s.op_indices) for s in result.stages) == 3
+
+    def test_merged_groups_track_mixed_composition(self):
+        classified = make_sequence(
+            [(3000, True, 0), (3000, False, 0), (3000, True, 0),
+             (3000, False, 0)]
+        )
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        assert all(s.duration_us >= 5000.0 for s in result.stages)
+        # Mixed groups report a fractional sensitive share.
+        assert any(0.0 < s.sensitive_fraction < 1.0 for s in result.stages)
+
+    def test_significant_gap_becomes_lfc_time(self):
+        classified = make_sequence(
+            [(6000, True, 0), (6000, True, 7000.0)]
+        )
+        result = preprocess(
+            classified, adjustment_interval_us=5000.0, significant_gap_us=50.0
+        )
+        kinds = [s.kind for s in result.stages]
+        assert StageKind.LFC in kinds
+        lfc = next(s for s in result.stages if s.kind is StageKind.LFC)
+        assert lfc.duration_us == pytest.approx(7000.0)
+        assert lfc.op_indices == ()
+
+    def test_small_gap_absorbed(self):
+        classified = make_sequence([(6000, True, 0), (6000, True, 10.0)])
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        assert len(result.stages) == 1
+        assert result.stages[0].duration_us == pytest.approx(12010.0)
+
+    def test_stage_timeline_is_contiguous(self):
+        classified = make_sequence(
+            [(6000, True, 0), (6000, False, 30.0), (7000, True, 0)]
+        )
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        for prev, nxt in zip(result.stages, result.stages[1:]):
+            assert nxt.start_us == pytest.approx(prev.end_us)
+
+    def test_sensitive_time_tracked(self):
+        classified = make_sequence([(6000, True, 0), (500, False, 0)])
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        stage = result.stages[0]
+        assert stage.sensitive_time_us == pytest.approx(6000.0)
+        assert 0.9 < stage.sensitive_fraction <= 1.0
+
+    def test_stage_of_op(self):
+        classified = make_sequence([(6000, True, 0), (6000, False, 0)])
+        result = preprocess(classified, adjustment_interval_us=5000.0)
+        assert result.stage_of_op(1).kind is StageKind.LFC
+        with pytest.raises(StrategyError):
+            result.stage_of_op(99)
+
+    def test_larger_interval_fewer_stages(self):
+        spec = [(3000, i % 2 == 0, 0) for i in range(20)]
+        fine = preprocess(make_sequence(spec), adjustment_interval_us=2000.0)
+        coarse = preprocess(make_sequence(spec), adjustment_interval_us=20000.0)
+        assert len(coarse.stages) < len(fine.stages)
+
+    def test_rejects_empty(self):
+        with pytest.raises(StrategyError):
+            preprocess([], adjustment_interval_us=5000.0)
+
+    def test_rejects_bad_interval(self):
+        classified = make_sequence([(6000, True, 0)])
+        with pytest.raises(StrategyError):
+            preprocess(classified, adjustment_interval_us=0.0)
+
+
+class TestStrategy:
+    def plans(self):
+        return (
+            StagePlan(0.0, 5000.0, 1800.0, StageKind.HFC, 0),
+            StagePlan(5000.0, 5000.0, 1200.0, StageKind.LFC, 3),
+            StagePlan(10000.0, 5000.0, 1200.0, StageKind.LFC, 7),
+            StagePlan(15000.0, 5000.0, 1800.0, StageKind.HFC, 9),
+        )
+
+    def test_switches_collapse_same_frequency(self):
+        strategy = DvfsStrategy("w", 0.02, self.plans())
+        assert strategy.setfreq_count == 2
+        assert strategy.switches() == [(5000.0, 1200.0), (15000.0, 1800.0)]
+
+    def test_anchored_switches(self):
+        strategy = DvfsStrategy("w", 0.02, self.plans())
+        assert strategy.anchored_switches() == [(3, 1200.0), (9, 1800.0)]
+
+    def test_anchor_falls_through_idle_stage(self):
+        plans = (
+            StagePlan(0.0, 5000.0, 1800.0, StageKind.HFC, 0),
+            StagePlan(5000.0, 5000.0, 1000.0, StageKind.LFC, None),
+            StagePlan(10000.0, 5000.0, 1000.0, StageKind.LFC, 4),
+        )
+        strategy = DvfsStrategy("w", 0.02, plans)
+        assert strategy.anchored_switches() == [(4, 1000.0)]
+
+    def test_json_roundtrip(self, tmp_path):
+        strategy = DvfsStrategy("w", 0.02, self.plans())
+        path = tmp_path / "strategy.json"
+        strategy.save(path)
+        loaded = DvfsStrategy.load(path)
+        assert loaded == strategy
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(StrategyError):
+            DvfsStrategy.from_json("{not json")
+        with pytest.raises(StrategyError):
+            DvfsStrategy.from_json('{"workload": "w"}')
+
+    def test_frequency_histogram(self):
+        strategy = DvfsStrategy("w", 0.02, self.plans())
+        histogram = strategy.frequency_histogram()
+        assert histogram[1200.0] == pytest.approx(10000.0)
+        assert histogram[1800.0] == pytest.approx(10000.0)
+
+    def test_mean_lfc_freq(self):
+        strategy = DvfsStrategy("w", 0.02, self.plans())
+        assert strategy.mean_lfc_freq_mhz() == pytest.approx(1200.0)
+
+    def test_mean_lfc_freq_none_without_lfc(self):
+        plans = (StagePlan(0.0, 100.0, 1800.0, StageKind.HFC, 0),)
+        assert DvfsStrategy("w", 0.02, plans).mean_lfc_freq_mhz() is None
+
+    def test_unsorted_plans_rejected(self):
+        plans = (
+            StagePlan(5000.0, 100.0, 1800.0, StageKind.HFC, 0),
+            StagePlan(0.0, 100.0, 1800.0, StageKind.HFC, 1),
+        )
+        with pytest.raises(StrategyError):
+            DvfsStrategy("w", 0.02, plans)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StrategyError):
+            DvfsStrategy("w", 0.02, ())
+
+    def test_constant_strategy(self):
+        strategy = constant_strategy("w", 1300.0, 1000.0)
+        assert strategy.setfreq_count == 0
+        assert strategy.initial_freq_mhz == 1300.0
+
+    def test_strategy_from_genes_validates_length(self):
+        from repro.dvfs.preprocessing import Stage
+
+        stage = Stage(0, StageKind.HFC, 0.0, 100.0, (0,), 100.0)
+        with pytest.raises(StrategyError):
+            strategy_from_genes("w", [stage], [0, 1], [1000.0], 0.02)
+
+
+@pytest.fixture(scope="module")
+def scorer_setup():
+    """A small optimizer pipeline up to the scorer, shared by GA tests."""
+    from repro import EnergyOptimizer, OptimizerConfig
+    from repro.workloads import generate
+
+    config = OptimizerConfig(
+        performance_loss_target=0.04,
+        ga=GaConfig(population_size=40, iterations=60, seed=11),
+    )
+    optimizer = EnergyOptimizer(config)
+    trace = generate("gpt3", scale=0.03)
+    bundle = optimizer.profile(trace)
+    models = optimizer.build_models(bundle)
+    candidates = optimizer.preprocess(bundle)
+    scorer = StrategyScorer(
+        trace=trace,
+        stages=candidates.stages,
+        perf_model=models.performance,
+        power_table=models.power,
+        freqs_mhz=config.npu.frequencies.points,
+        performance_loss_target=0.04,
+    )
+    return config, trace, candidates, scorer
+
+
+class TestScorer:
+    def test_baseline_scores_two(self, scorer_setup):
+        _, _, _, scorer = scorer_setup
+        baseline = np.full((1, scorer.stage_count), 8, dtype=int)
+        assert scorer.score(baseline)[0] == pytest.approx(2.0)
+
+    def test_all_lowest_violates_target(self, scorer_setup):
+        _, _, _, scorer = scorer_setup
+        lowest = np.zeros((1, scorer.stage_count), dtype=int)
+        breakdown = scorer.breakdown(lowest[0])
+        assert not breakdown.meets_target
+        assert scorer.score(lowest)[0] < 2.0
+
+    def test_lower_frequency_lowers_power(self, scorer_setup):
+        _, _, _, scorer = scorer_setup
+        base = scorer.breakdown(np.full(scorer.stage_count, 8))
+        low = scorer.breakdown(np.zeros(scorer.stage_count, dtype=int))
+        assert low.aicore_watts < base.aicore_watts
+        assert low.soc_watts < base.soc_watts
+        assert low.time_us > base.time_us
+
+    def test_population_shape_validated(self, scorer_setup):
+        _, _, _, scorer = scorer_setup
+        with pytest.raises(StrategyError):
+            scorer.score(np.zeros((2, scorer.stage_count + 1), dtype=int))
+
+    def test_breakdown_fields(self, scorer_setup):
+        _, _, _, scorer = scorer_setup
+        breakdown = scorer.breakdown(np.full(scorer.stage_count, 8))
+        assert breakdown.delta_celsius > 0
+        assert breakdown.performance == pytest.approx(1e6 / breakdown.time_us)
+
+
+class TestGa:
+    def test_initial_population_contains_baseline_and_prior(self, scorer_setup):
+        config, _, candidates, scorer = scorer_setup
+        rng = np.random.default_rng(0)
+        population = initial_population(
+            scorer, candidates.stages, config.ga,
+            config.npu.frequencies.points, rng,
+        )
+        assert population.shape == (config.ga.population_size, scorer.stage_count)
+        assert (population[0] == 8).all()  # baseline at 1800
+        prior = population[1]
+        for stage, gene in zip(candidates.stages, prior):
+            expected = 6 if stage.kind is StageKind.LFC else 8
+            assert gene == expected
+
+    def test_search_improves_over_baseline(self, scorer_setup):
+        config, _, candidates, scorer = scorer_setup
+        result = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, config.ga
+        )
+        assert result.best_score > 2.0  # beats the all-1800 baseline
+        assert scorer.breakdown(result.best_genes).meets_target
+
+    def test_history_is_monotone_with_elitism(self, scorer_setup):
+        config, _, candidates, scorer = scorer_setup
+        result = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, config.ga
+        )
+        history = np.array(result.history)
+        assert (np.diff(history) >= -1e-12).all()
+        assert len(history) == config.ga.iterations + 1
+
+    def test_search_is_deterministic(self, scorer_setup):
+        config, _, candidates, scorer = scorer_setup
+        a = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, config.ga
+        )
+        b = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, config.ga
+        )
+        assert np.array_equal(a.best_genes, b.best_genes)
+        assert a.history == b.history
+
+    def test_config_validation(self):
+        with pytest.raises(StrategyError):
+            GaConfig(population_size=2)
+        with pytest.raises(StrategyError):
+            GaConfig(mutation_rate=1.5)
+        with pytest.raises(StrategyError):
+            GaConfig(elite_count=500)
+        with pytest.raises(StrategyError):
+            GaConfig(iterations=0)
+
+    def test_converged_generation(self, scorer_setup):
+        config, _, candidates, scorer = scorer_setup
+        result = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, config.ga
+        )
+        assert 0 <= result.converged_generation <= config.ga.iterations
+
+
+class TestExecutor:
+    def test_execute_with_baseline(self, scorer_setup):
+        from repro import EnergyOptimizer, OptimizerConfig
+        from repro.workloads import generate
+
+        config, trace, candidates, scorer = scorer_setup
+        optimizer = EnergyOptimizer(config)
+        result = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, config.ga
+        )
+        strategy = strategy_from_genes(
+            trace.name, candidates.stages, result.best_genes,
+            config.npu.frequencies.points, 0.04,
+        )
+        executor = optimizer.executor
+        outcome = executor.execute_with_baseline(trace, strategy, stable=False)
+        assert outcome.aicore_power_reduction > 0
+        assert outcome.performance_loss < 0.05
+
+    def test_compile_plan_anchor_count(self, scorer_setup):
+        from repro.npu import NpuDevice, default_npu_spec
+
+        config, trace, candidates, scorer = scorer_setup
+        executor = DvfsExecutor(NpuDevice(default_npu_spec()))
+        genes = np.array(
+            [0 if s.kind is StageKind.LFC else 8 for s in candidates.stages]
+        )
+        strategy = strategy_from_genes(
+            trace.name, candidates.stages, genes,
+            config.npu.frequencies.points, 0.04,
+        )
+        plan = executor.compile(strategy)
+        assert plan.switch_count == len(strategy.anchored_switches())
+
+    def test_compile_validates_grid(self):
+        from repro.npu import NpuDevice, default_npu_spec
+        from repro.errors import FrequencyError
+
+        executor = DvfsExecutor(NpuDevice(default_npu_spec()))
+        plans = (
+            StagePlan(0.0, 100.0, 1800.0, StageKind.HFC, 0),
+            StagePlan(100.0, 100.0, 1234.0, StageKind.LFC, 1),
+        )
+        strategy = DvfsStrategy("w", 0.02, plans)
+        with pytest.raises(FrequencyError):
+            executor.compile(strategy)
+
+
+class TestGaPatience:
+    def test_early_stop_trims_generations(self, scorer_setup):
+        config, _, candidates, scorer = scorer_setup
+        from repro.dvfs import GaConfig, run_search
+
+        patient = GaConfig(
+            population_size=40, iterations=500, seed=11, patience=20
+        )
+        result = run_search(
+            scorer, candidates.stages, config.npu.frequencies.points, patient
+        )
+        assert result.generations < 500
+        assert len(result.history) == result.generations + 1
+
+    def test_patience_validation(self):
+        from repro.dvfs import GaConfig
+        from repro.errors import StrategyError
+
+        with pytest.raises(StrategyError):
+            GaConfig(patience=-1)
+
+
+class TestExecutorValidation:
+    def _strategy(self, workload, anchor):
+        plans = (
+            StagePlan(0.0, 100.0, 1800.0, StageKind.HFC, 0),
+            StagePlan(100.0, 100.0, 1000.0, StageKind.LFC, anchor),
+        )
+        return DvfsStrategy(workload, 0.02, plans)
+
+    def test_wrong_workload_rejected(self, ideal_device):
+        from repro.workloads import build_trace
+        from tests.conftest import make_compute_op
+
+        executor = DvfsExecutor(ideal_device)
+        trace = build_trace("real", [make_compute_op(name="v.op")])
+        with pytest.raises(StrategyError):
+            executor.execute(trace, self._strategy("other", 0))
+
+    def test_out_of_range_anchor_rejected(self, ideal_device):
+        from repro.workloads import build_trace
+        from tests.conftest import make_compute_op
+
+        executor = DvfsExecutor(ideal_device)
+        trace = build_trace("real", [make_compute_op(name="v.op2")])
+        with pytest.raises(StrategyError):
+            executor.execute(trace, self._strategy("real", 99))
+
+    def test_matching_strategy_accepted(self, ideal_device):
+        from repro.workloads import build_trace
+        from tests.conftest import make_compute_op
+
+        executor = DvfsExecutor(ideal_device)
+        trace = build_trace(
+            "real",
+            [make_compute_op(name=f"v.op{i}") for i in range(3)],
+        )
+        result = executor.execute(
+            trace, self._strategy("real", 1), stable=False
+        )
+        assert result.records[1].start_freq_mhz == 1000.0
+
+
+class TestScorerConsistency:
+    def test_single_stage_time_matches_model_sum(self, scorer_setup):
+        """The scorer's per-stage time tables must equal the sum of the
+        per-operator model predictions plus the frequency-independent idle
+        remainder."""
+        from repro import EnergyOptimizer, OptimizerConfig
+        from repro.workloads import generate
+
+        config, trace, candidates, scorer = scorer_setup
+        optimizer = EnergyOptimizer(config)
+        bundle = optimizer.profile(trace)
+        models = optimizer.build_models(bundle)
+        freqs = config.npu.frequencies.points
+        entries = trace.entries
+        # Evaluate one all-at-one-frequency strategy per grid point and
+        # compare against a direct model computation.
+        for j, freq in enumerate((1000.0, 1400.0, 1800.0)):
+            genes = np.full(
+                scorer.stage_count, freqs.index(freq), dtype=int
+            )
+            breakdown = scorer.breakdown(genes)
+            direct = 0.0
+            for stage in candidates.stages:
+                op_time = sum(
+                    models.performance.predict_time_us(
+                        entries[i].spec.name, freq
+                    )
+                    for i in stage.op_indices
+                )
+                op_time_base = sum(
+                    models.performance.predict_time_us(
+                        entries[i].spec.name, freqs[-1]
+                    )
+                    for i in stage.op_indices
+                )
+                idle = max(0.0, stage.duration_us - op_time_base)
+                direct += op_time + idle
+            assert breakdown.time_us == pytest.approx(direct, rel=1e-9)
+
+    def test_power_between_idle_and_busy_bounds(self, scorer_setup):
+        _, _, _, scorer = scorer_setup
+        baseline = scorer.breakdown(np.full(scorer.stage_count, 8))
+        assert 10.0 < baseline.aicore_watts < 80.0
+        assert 150.0 < baseline.soc_watts < 350.0

@@ -1,0 +1,142 @@
+"""Property-based invariants of device execution (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npu import FrequencyTimeline, NpuDevice, noise_free_spec
+from repro.npu.device import IDLE_INDEX
+from repro.npu.pipelines import Pipe
+from repro.npu.setfreq import AnchoredFrequencyPlan, AnchoredSwitch
+from repro.npu.timeline import Scenario
+from repro.workloads import build_trace
+from repro.workloads.trace import TraceEntry
+from tests.conftest import make_compute_op
+
+DEVICE = NpuDevice(noise_free_spec())
+GRID = tuple(1000.0 + 100.0 * i for i in range(9))
+
+op_params = st.fixed_dictionaries(
+    {
+        "scenario": st.sampled_from(list(Scenario)),
+        "n_blocks": st.integers(1, 12),
+        "core_cycles": st.floats(1_000.0, 500_000.0),
+        "ld_bytes": st.floats(0.0, 5e6),
+        "st_bytes": st.floats(0.0, 5e6),
+        "derate": st.floats(0.5, 1.3),
+        "overhead_us": st.floats(0.0, 10.0),
+    }
+)
+
+
+def _trace(param_list, gaps=None, name="prop"):
+    entries = []
+    for i, params in enumerate(param_list):
+        op = make_compute_op(name=f"{name}.op{i}", **params)
+        gap = gaps[i] if gaps else 0.0
+        entries.append(TraceEntry(op, gap_before_us=gap))
+    return build_trace(name, entries)
+
+
+@given(params=st.lists(op_params, min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_chunks_are_contiguous_and_cover_duration(params):
+    result = DEVICE.run(_trace(params))
+    assert result.chunks[0].start_us == 0.0
+    for prev, nxt in zip(result.chunks, result.chunks[1:]):
+        assert nxt.start_us == pytest.approx(prev.end_us)
+    assert result.chunks[-1].end_us == pytest.approx(result.duration_us)
+
+
+@given(params=st.lists(op_params, min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_energy_equals_chunk_integral(params):
+    result = DEVICE.run(_trace(params))
+    aicore = sum(c.aicore_watts * c.duration_us / 1e6 for c in result.chunks)
+    soc = sum(c.soc_watts * c.duration_us / 1e6 for c in result.chunks)
+    assert result.aicore_energy_j == pytest.approx(aicore, rel=1e-9)
+    assert result.soc_energy_j == pytest.approx(soc, rel=1e-9)
+
+
+@given(
+    params=st.lists(op_params, min_size=1, max_size=4),
+    gaps=st.lists(st.floats(0.0, 500.0), min_size=4, max_size=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_records_energy_plus_idle_equals_total(params, gaps):
+    trace = _trace(params, gaps=gaps[: len(params)])
+    result = DEVICE.run(trace)
+    record_energy = sum(r.soc_energy_j for r in result.records)
+    idle_energy = sum(
+        c.soc_watts * c.duration_us / 1e6
+        for c in result.chunks
+        if c.op_index == IDLE_INDEX
+    )
+    assert result.soc_energy_j == pytest.approx(
+        record_energy + idle_energy, rel=1e-9
+    )
+
+
+@given(
+    params=st.lists(op_params, min_size=2, max_size=4),
+    freq=st.sampled_from(GRID),
+)
+@settings(max_examples=40, deadline=None)
+def test_constant_frequency_means_no_straddling(params, freq):
+    result = DEVICE.run(_trace(params), FrequencyTimeline.constant(freq))
+    for record in result.records:
+        assert record.start_freq_mhz == freq
+        assert not record.straddled_switch
+
+
+@given(
+    params=st.lists(op_params, min_size=3, max_size=5),
+    switch_freq=st.sampled_from(GRID),
+    anchor=st.integers(1, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_anchored_switch_applies_exactly_once(params, switch_freq, anchor):
+    trace = _trace(params)
+    plan = AnchoredFrequencyPlan(
+        1800.0, [AnchoredSwitch(anchor, switch_freq)]
+    )
+    result = DEVICE.run(trace, plan)
+    for record in result.records:
+        expected = 1800.0 if record.index < anchor else switch_freq
+        assert record.start_freq_mhz == expected
+
+
+@given(params=st.lists(op_params, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_higher_frequency_never_slower(params):
+    trace = _trace(params)
+    d_low = DEVICE.run(trace, FrequencyTimeline.constant(1000.0)).duration_us
+    d_high = DEVICE.run(trace, FrequencyTimeline.constant(1800.0)).duration_us
+    assert d_high <= d_low + 1e-6
+
+
+@given(params=st.lists(op_params, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_utilisation_bounded_for_all_random_ops(params):
+    trace = _trace(params)
+    for entry in trace.entries:
+        for freq in (1000.0, 1400.0, 1800.0):
+            evaluation = DEVICE.evaluator.evaluate(entry.spec, freq)
+            assert 0.0 <= evaluation.utilisation_sum() <= len(Pipe) + 1e-9
+            for ratio in evaluation.utilisation.values():
+                assert 0.0 <= ratio <= 1.0 + 1e-9
+
+
+@given(
+    params=st.lists(op_params, min_size=1, max_size=3),
+    temps=st.tuples(st.floats(25.0, 40.0), st.floats(60.0, 90.0)),
+)
+@settings(max_examples=30, deadline=None)
+def test_hotter_chip_draws_more_power(params, temps):
+    cold_start, hot_start = temps
+    trace = _trace(params)
+    cold = DEVICE.run(trace, initial_celsius=cold_start)
+    hot = DEVICE.run(trace, initial_celsius=hot_start)
+    assert hot.soc_avg_watts > cold.soc_avg_watts
+    assert hot.duration_us == pytest.approx(cold.duration_us)

@@ -1,0 +1,178 @@
+"""Tests for the experiment harness (fast experiments run end to end)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import experiment_ids, run_experiment
+from repro.experiments.base import ExperimentResult, downsample, percent
+from repro.experiments.cli import build_parser, main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for expected in (
+            "fig09", "fig10", "fig15", "fig16", "fig17", "fig18",
+            "table2", "table3", "sec43", "sec84",
+        ):
+            assert expected in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+class TestBaseHelpers:
+    def test_percent(self):
+        assert percent(0.1234) == "12.34%"
+
+    def test_downsample_short_series_unchanged(self):
+        assert downsample([1.0, 2.0], points=10) == [1.0, 2.0]
+
+    def test_downsample_keeps_endpoints(self):
+        series = list(range(100))
+        thinned = downsample(series, points=10)
+        assert thinned[0] == 0
+        assert thinned[-1] == 99
+        assert len(thinned) <= 12
+
+    def test_render_contains_sections(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            paper_reference={"a": 1.0},
+            measured={"b": 2.0},
+            rows=[{"c": 3}],
+            notes="note",
+        )
+        text = result.render()
+        assert "== x: T ==" in text
+        assert "paper reports:" in text
+        assert "note" in text
+
+
+class TestFastExperiments:
+    def test_fig09(self):
+        result = run_experiment("fig09")
+        assert result.measured["flat_below_knee"]
+        assert result.measured["linear_above_knee"]
+        assert len(result.rows) == 9
+
+    def test_fig10_small(self):
+        result = run_experiment("fig10", scale=0.15)
+        assert result.measured["all_linear"]
+        assert 0.08 < result.measured["mean_k"] < 0.2
+
+    def test_sec84_small(self):
+        result = run_experiment("sec84", scale=0.1)
+        assert result.measured["aicore_reduction"] > 0.1
+        assert result.measured["perf_loss"] < 0.1
+
+    def test_sec43_small(self):
+        result = run_experiment("sec43", scale=0.1)
+        assert result.measured["func2_wins"]
+        assert result.measured["operators"] > 100
+
+    def test_fig16(self):
+        result = run_experiment("fig16")
+        assert result.measured["func2_mean_error"] < 0.06
+        operators = {row["operator"] for row in result.rows}
+        assert operators == {
+            "Add", "RealDiv", "ReduceMean", "Conv2D", "BNTrainingUpdate",
+        }
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "table3" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig15" in capsys.readouterr().out
+
+    def test_run_fig09(self, capsys):
+        assert main(["fig09"]) == 0
+        out = capsys.readouterr().out
+        assert "Voltage-frequency" in out
+        assert "finished in" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table3", "--scale", "0.2", "--iterations", "50",
+             "--population", "40", "--seed", "7"]
+        )
+        assert args.experiment == "table3"
+        assert args.scale == 0.2
+        assert args.iterations == 50
+        assert args.population == 40
+        assert args.seed == 7
+
+    def test_quick_flag_sets_defaults(self):
+        from repro.experiments.cli import _kwargs_for
+
+        parser = build_parser()
+        args = parser.parse_args(["table3", "--quick"])
+        kwargs = _kwargs_for("table3", args)
+        assert kwargs["scale"] == 0.05
+        assert kwargs["iterations"] == 120
+        # Non-GA experiments don't receive GA kwargs.
+        kwargs = _kwargs_for("fig09", parser.parse_args(["fig09", "--quick"]))
+        assert "iterations" not in kwargs
+
+
+class TestExtensionExperiments:
+    def test_sec81_small(self):
+        result = run_experiment("sec81", scale=0.02, model_free_budget=6)
+        assert result.measured["speed_ratio"] > 10.0
+        assert result.measured["model_based_strategies_per_second"] > 100.0
+
+    def test_fig14_small(self):
+        result = run_experiment(
+            "fig14", scale=0.04, iterations=120, population=60
+        )
+        assert result.measured["anchoring_helps"]
+
+    def test_ext_whole_program_small(self):
+        result = run_experiment(
+            "ext_whole_program", scale=0.03, iterations=120, population=60
+        )
+        assert result.measured["fine_grained_wins"]
+
+    def test_ext_uncore_small(self):
+        result = run_experiment("ext_uncore", scale=0.03)
+        assert result.measured["savings_scale_with_uncore"]
+
+    def test_sec6_small(self):
+        result = run_experiment("sec6", scale=0.03)
+        assert result.measured["gelu_exchange_beats_matmul"]
+
+    def test_result_json_roundtrip(self):
+        import json
+
+        result = run_experiment("fig09")
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "fig09"
+        assert payload["rows"]
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        path = tmp_path / "fig09.json"
+        assert main(["fig09", "--json", str(path)]) == 0
+        capsys.readouterr()
+        import json
+
+        assert json.loads(path.read_text())["experiment_id"] == "fig09"
+
+    def test_ext_robustness_small(self):
+        result = run_experiment(
+            "ext_robustness", scale=0.03, iterations=120,
+            population=60, seeds=2,
+        )
+        assert result.measured["all_losses_within_target"]
+        assert len(result.rows) == 2

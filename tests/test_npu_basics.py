@@ -1,0 +1,287 @@
+"""Tests for frequency grid, voltage curve, memory law, pipes, thermal."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.npu import FrequencyGrid, MemoryHierarchy, ThermalSpec, VoltageCurve
+from repro.npu.memory import smooth_max
+from repro.npu.pipelines import (
+    ALL_PIPES,
+    CORE_PIPES,
+    Pipe,
+    UNCORE_PIPES,
+    is_core_pipe,
+    is_uncore_pipe,
+    validate_core_mix,
+)
+from repro.npu.thermal import ThermalState
+
+
+class TestFrequencyGrid:
+    def test_default_grid_matches_paper(self):
+        grid = FrequencyGrid()
+        assert grid.points[0] == 1000.0
+        assert grid.points[-1] == 1800.0
+        assert grid.count == 9
+        assert grid.points[1] - grid.points[0] == 100.0
+
+    def test_validate_accepts_grid_point(self):
+        assert FrequencyGrid().validate(1300.0) == 1300.0
+
+    def test_validate_rejects_off_grid(self):
+        with pytest.raises(FrequencyError):
+            FrequencyGrid().validate(1350.0)
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(FrequencyError):
+            FrequencyGrid().validate(900.0)
+
+    def test_nearest_snaps(self):
+        assert FrequencyGrid().nearest(1340.0) == 1300.0
+        assert FrequencyGrid().nearest(1360.0) == 1400.0
+
+    def test_nearest_tie_goes_up(self):
+        assert FrequencyGrid().nearest(1350.0) == 1400.0
+
+    def test_index_of(self):
+        grid = FrequencyGrid()
+        assert grid.index_of(1000.0) == 0
+        assert grid.index_of(1800.0) == 8
+
+    def test_clamp(self):
+        grid = FrequencyGrid()
+        assert grid.clamp(700.0) == 1000.0
+        assert grid.clamp(5000.0) == 1800.0
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencyGrid(min_mhz=1000, max_mhz=1850, step_mhz=100)
+        with pytest.raises(FrequencyError):
+            FrequencyGrid(min_mhz=1800, max_mhz=1000)
+
+    def test_contains(self):
+        grid = FrequencyGrid()
+        assert grid.contains(1500.0)
+        assert not grid.contains(1550.0)
+
+
+class TestVoltageCurve:
+    def test_flat_below_knee(self):
+        curve = VoltageCurve()
+        assert curve.volts(1000.0) == curve.volts(1300.0)
+
+    def test_linear_above_knee(self):
+        curve = VoltageCurve()
+        v14, v15, v16 = (curve.volts(f) for f in (1400.0, 1500.0, 1600.0))
+        assert v15 - v14 == pytest.approx(v16 - v15)
+        assert v15 > v14
+
+    def test_monotone_nondecreasing(self):
+        curve = VoltageCurve()
+        volts = [curve.volts(f) for f in range(1000, 1900, 100)]
+        assert all(b >= a for a, b in zip(volts, volts[1:]))
+
+    def test_vectorised(self):
+        curve = VoltageCurve()
+        arr = curve.volts(np.array([1000.0, 1800.0]))
+        assert arr.shape == (2,)
+
+    def test_table(self):
+        rows = VoltageCurve().table((1000.0, 1800.0))
+        assert len(rows) == 2
+        assert rows[0][1] < rows[1][1]
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            VoltageCurve().volts(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(flat_volts=-1.0)
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(slope_volts_per_mhz=-0.1)
+
+
+class TestSmoothMax:
+    def test_exact_when_one_zero(self):
+        assert smooth_max(0.0, 5.0, 6.0) == 5.0
+        assert smooth_max(5.0, 0.0, 6.0) == 5.0
+
+    def test_upper_bounds_max(self):
+        assert smooth_max(3.0, 4.0, 6.0) >= 4.0
+
+    def test_bounded_by_max_times_root2(self):
+        # At the corner x == y the relaxation peaks at 2^(1/p) * max.
+        value = smooth_max(4.0, 4.0, 6.0)
+        assert value == pytest.approx(4.0 * 2 ** (1 / 6.0))
+
+    def test_converges_to_max_with_sharpness(self):
+        approx = smooth_max(3.0, 4.0, 200.0)
+        assert approx == pytest.approx(4.0, rel=1e-3)
+
+    def test_symmetry(self):
+        assert smooth_max(2.0, 7.0, 6.0) == pytest.approx(smooth_max(7.0, 2.0, 6.0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            smooth_max(-1.0, 2.0, 6.0)
+
+
+class TestMemoryHierarchy:
+    def test_throughput_respects_min_law(self):
+        mem = MemoryHierarchy()
+        low = mem.throughput(1000.0)
+        sat = mem.throughput(1800.0)
+        assert low == pytest.approx(mem.core_bytes_per_cycle * 1000.0)
+        assert sat == pytest.approx(mem.uncore_bandwidth())
+
+    def test_saturation_frequency_eq2(self):
+        mem = MemoryHierarchy()
+        fs = mem.saturation_frequency()
+        assert fs == pytest.approx(
+            mem.uncore_bandwidth() / mem.core_bytes_per_cycle
+        )
+        # At fs both sides of the min() agree.
+        assert mem.core_bytes_per_cycle * fs == pytest.approx(
+            mem.uncore_bandwidth()
+        )
+
+    def test_derate_scales_bandwidth(self):
+        mem = MemoryHierarchy()
+        assert mem.uncore_bandwidth(0.5) == pytest.approx(
+            0.5 * mem.uncore_bandwidth()
+        )
+        assert mem.saturation_frequency(0.5) == pytest.approx(
+            0.5 * mem.saturation_frequency()
+        )
+
+    def test_transfer_cycles_zero_volume(self):
+        assert MemoryHierarchy().transfer_cycles(0.0, 1500.0) == 0.0
+
+    def test_transfer_cycles_monotone_in_frequency(self):
+        mem = MemoryHierarchy()
+        cycles = [mem.transfer_cycles(1e7, f) for f in (1000, 1400, 1800)]
+        assert cycles[0] <= cycles[1] <= cycles[2]
+
+    def test_transfer_time_decreases_then_flattens(self):
+        mem = MemoryHierarchy()
+        times = [mem.transfer_time_us(1e7, f) for f in (1000, 1400, 1800)]
+        assert times[0] > times[2]
+        # Above saturation the marginal gain shrinks.
+        assert times[0] - times[1] > times[1] - times[2]
+
+    def test_coefficients_match_eq4(self):
+        mem = MemoryHierarchy()
+        a, c = mem.transfer_cycle_coefficients(1e6)
+        assert a == pytest.approx(1e6 / mem.uncore_bandwidth())
+        assert c == pytest.approx(1e6 / mem.core_bytes_per_cycle)
+
+    def test_rejects_bad_inputs(self):
+        mem = MemoryHierarchy()
+        with pytest.raises(ConfigurationError):
+            mem.uncore_bandwidth(0.0)
+        with pytest.raises(ConfigurationError):
+            mem.transfer_cycle_coefficients(-1.0)
+        with pytest.raises(ConfigurationError):
+            mem.throughput(0.0)
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(core_count=0)
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(saturation_sharpness=0.5)
+
+
+class TestPipes:
+    def test_partition(self):
+        assert CORE_PIPES | UNCORE_PIPES == frozenset(ALL_PIPES)
+        assert not CORE_PIPES & UNCORE_PIPES
+
+    def test_ld_st_are_uncore(self):
+        assert is_uncore_pipe(Pipe.MTE2)
+        assert is_uncore_pipe(Pipe.MTE3)
+        assert not is_core_pipe(Pipe.MTE2)
+
+    def test_cube_is_core(self):
+        assert is_core_pipe(Pipe.CUBE)
+
+    def test_validate_mix_ok(self):
+        validate_core_mix({Pipe.CUBE: 0.7, Pipe.VECTOR: 0.3})
+
+    def test_validate_mix_rejects_uncore(self):
+        with pytest.raises(ValueError):
+            validate_core_mix({Pipe.MTE2: 1.0})
+
+    def test_validate_mix_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            validate_core_mix({Pipe.CUBE: 0.5})
+
+    def test_validate_mix_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_core_mix({Pipe.CUBE: 1.5, Pipe.VECTOR: -0.5})
+
+    def test_validate_mix_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_core_mix({})
+
+
+class TestThermal:
+    def test_equilibrium_is_linear_eq15(self):
+        spec = ThermalSpec()
+        t1 = spec.equilibrium_celsius(100.0)
+        t2 = spec.equilibrium_celsius(200.0)
+        assert t2 - t1 == pytest.approx(spec.celsius_per_watt * 100.0)
+        assert spec.equilibrium_celsius(0.0) == spec.ambient_celsius
+
+    def test_equilibrium_delta(self):
+        spec = ThermalSpec()
+        assert spec.equilibrium_delta(250.0) == pytest.approx(
+            spec.celsius_per_watt * 250.0
+        )
+
+    def test_state_approaches_equilibrium(self):
+        spec = ThermalSpec()
+        state = ThermalState(spec)
+        target = spec.equilibrium_celsius(300.0)
+        state.advance(300.0, spec.time_constant_us * 10)
+        assert state.celsius == pytest.approx(target, abs=0.01)
+
+    def test_state_exact_exponential(self):
+        spec = ThermalSpec()
+        state = ThermalState(spec, initial_celsius=spec.ambient_celsius)
+        target = spec.equilibrium_celsius(200.0)
+        state.advance(200.0, spec.time_constant_us)
+        expected = target + (spec.ambient_celsius - target) * np.exp(-1.0)
+        assert state.celsius == pytest.approx(expected)
+
+    def test_cooling_is_gradual(self):
+        spec = ThermalSpec()
+        state = ThermalState(spec, initial_celsius=80.0)
+        state.advance(0.0, spec.time_constant_us / 100)
+        assert 25.0 < state.celsius < 80.0
+        assert state.celsius > 79.0  # barely moved in a short interval
+
+    def test_settle_and_reset(self):
+        spec = ThermalSpec()
+        state = ThermalState(spec)
+        state.settle(250.0)
+        assert state.celsius == spec.equilibrium_celsius(250.0)
+        state.reset()
+        assert state.celsius == spec.ambient_celsius
+
+    def test_split_interval_equals_single_interval(self):
+        spec = ThermalSpec()
+        a = ThermalState(spec, initial_celsius=30.0)
+        b = ThermalState(spec, initial_celsius=30.0)
+        a.advance(220.0, 2_000_000.0)
+        b.advance(220.0, 800_000.0)
+        b.advance(220.0, 1_200_000.0)
+        assert a.celsius == pytest.approx(b.celsius)
+
+    def test_rejects_negative_duration(self):
+        state = ThermalState(ThermalSpec())
+        with pytest.raises(ConfigurationError):
+            state.advance(100.0, -1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            ThermalSpec().equilibrium_celsius(-5.0)

@@ -1,0 +1,180 @@
+"""Tests for operator specs and the ground-truth evaluator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.npu import GroundTruthEvaluator, noise_free_spec
+from repro.npu.pipelines import Pipe
+from repro.npu.timeline import Scenario
+from repro.workloads.operator import (
+    ComputeCharacter,
+    OperatorKind,
+    OperatorSpec,
+    make_fixed_operator,
+)
+from tests.conftest import make_compute_op
+
+
+class TestOperatorSpec:
+    def test_compute_requires_character(self):
+        with pytest.raises(WorkloadError):
+            OperatorSpec(name="x", op_type="T", kind=OperatorKind.COMPUTE)
+
+    def test_noncompute_rejects_character(self):
+        op = make_compute_op()
+        with pytest.raises(WorkloadError):
+            OperatorSpec(
+                name="x",
+                op_type="T",
+                kind=OperatorKind.AICPU,
+                compute=op.compute,
+            )
+
+    def test_noncompute_needs_duration(self):
+        with pytest.raises(WorkloadError):
+            make_fixed_operator("x", OperatorKind.AICPU, 0.0)
+
+    def test_fixed_factory_rejects_compute(self):
+        with pytest.raises(WorkloadError):
+            make_fixed_operator("x", OperatorKind.COMPUTE, 5.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_fixed_operator("", OperatorKind.IDLE, 5.0)
+
+    def test_total_bytes(self):
+        op = make_compute_op(n_blocks=4, ld_bytes=100.0, st_bytes=50.0)
+        assert op.total_ld_bytes() == pytest.approx(400.0)
+        assert op.total_st_bytes() == pytest.approx(200.0)
+
+    def test_total_bytes_zero_for_noncompute(self):
+        op = make_fixed_operator("c", OperatorKind.COMMUNICATION, 10.0)
+        assert op.total_ld_bytes() == 0.0
+
+    def test_character_is_hashable(self):
+        op = make_compute_op()
+        assert hash(op.compute) == hash(op.compute)
+
+    def test_make_mix_drops_zero_entries(self):
+        mix = ComputeCharacter.make_mix({Pipe.CUBE: 1.0, Pipe.VECTOR: 0.0})
+        assert mix == ((Pipe.CUBE, 1.0),)
+
+    def test_character_validation(self):
+        with pytest.raises(WorkloadError):
+            ComputeCharacter(
+                scenario=Scenario.PINGPONG_INDEPENDENT,
+                n_blocks=0,
+                core_cycles_per_block=1.0,
+                core_mix=ComputeCharacter.make_mix({Pipe.CUBE: 1.0}),
+                ld_bytes_per_block=0.0,
+                st_bytes_per_block=0.0,
+            )
+        with pytest.raises(WorkloadError):
+            ComputeCharacter(
+                scenario=Scenario.PINGPONG_INDEPENDENT,
+                n_blocks=1,
+                core_cycles_per_block=1.0,
+                core_mix=ComputeCharacter.make_mix({Pipe.CUBE: 1.0}),
+                ld_bytes_per_block=0.0,
+                st_bytes_per_block=0.0,
+                bandwidth_derate=0.0,
+            )
+
+
+class TestGroundTruthEvaluator:
+    def test_duration_decreases_with_frequency(self, evaluator):
+        op = make_compute_op()
+        d_low = evaluator.duration_us(op, 1000.0)
+        d_high = evaluator.duration_us(op, 1800.0)
+        assert d_high < d_low
+
+    def test_memory_bound_op_is_nearly_flat(self, evaluator):
+        op = make_compute_op(
+            core_cycles=500.0,
+            ld_bytes=8_000_000.0,
+            st_bytes=4_000_000.0,
+            derate=0.5,
+        )
+        d_low = evaluator.duration_us(op, 1300.0)
+        d_high = evaluator.duration_us(op, 1800.0)
+        assert (d_low - d_high) / d_low < 0.08
+
+    def test_compute_bound_op_scales_inverse_f(self, evaluator):
+        op = make_compute_op(
+            core_cycles=500_000.0, ld_bytes=10_000.0, st_bytes=10_000.0
+        )
+        d_1000 = evaluator.duration_us(op, 1000.0)
+        d_1800 = evaluator.duration_us(op, 1800.0)
+        assert d_1000 / d_1800 == pytest.approx(1.8, rel=0.05)
+
+    def test_fixed_overhead_is_frequency_independent(self, evaluator):
+        with_oh = make_compute_op(name="a", overhead_us=50.0)
+        without = make_compute_op(name="b", overhead_us=0.0)
+        for freq in (1000.0, 1800.0):
+            delta = evaluator.duration_us(with_oh, freq) - (
+                evaluator.duration_us(without, freq)
+            )
+            assert delta == pytest.approx(50.0)
+
+    def test_rejects_off_grid_frequency(self, evaluator):
+        from repro.errors import FrequencyError
+
+        with pytest.raises(FrequencyError):
+            evaluator.evaluate(make_compute_op(), 1234.0)
+
+    def test_cache_shares_characters_across_names(self, evaluator):
+        a = make_compute_op(name="alpha")
+        b = make_compute_op(name="beta")
+        ev_a = evaluator.evaluate(a, 1500.0)
+        ev_b = evaluator.evaluate(b, 1500.0)
+        assert ev_a.duration_us == ev_b.duration_us
+        assert ev_b.spec.name == "beta"
+
+    def test_utilisation_in_unit_interval(self, evaluator):
+        op = make_compute_op()
+        evaluation = evaluator.evaluate(op, 1400.0)
+        for pipe, ratio in evaluation.utilisation.items():
+            assert 0.0 <= ratio <= 1.0, pipe
+
+    def test_noncompute_evaluation(self, evaluator):
+        op = make_fixed_operator("comm", OperatorKind.COMMUNICATION, 123.0)
+        evaluation = evaluator.evaluate(op, 1800.0)
+        assert evaluation.duration_us == 123.0
+        assert evaluation.utilisation == {}
+        assert evaluation.alpha_effective == 0.0
+        assert evaluation.bandwidth_utilisation > 0.0  # collectives move data
+
+    def test_idle_has_zero_bandwidth(self, evaluator):
+        op = make_fixed_operator("idle", OperatorKind.IDLE, 10.0)
+        assert evaluator.evaluate(op, 1800.0).bandwidth_utilisation == 0.0
+
+    def test_power_increases_with_temperature(self, evaluator):
+        evaluation = evaluator.evaluate(make_compute_op(), 1800.0)
+        assert evaluator.aicore_power(evaluation, 40.0) > (
+            evaluator.aicore_power(evaluation, 0.0)
+        )
+
+    def test_soc_power_exceeds_aicore(self, evaluator):
+        evaluation = evaluator.evaluate(make_compute_op(), 1800.0)
+        assert evaluator.soc_power(evaluation, 30.0) > (
+            evaluator.aicore_power(evaluation, 30.0)
+        )
+
+    def test_timeline_rejects_noncompute(self, evaluator):
+        op = make_fixed_operator("a", OperatorKind.AICPU, 5.0)
+        with pytest.raises(ConfigurationError):
+            evaluator.timeline(op, 1800.0)
+
+    def test_total_cycles_consistent_with_duration(self):
+        evaluator = GroundTruthEvaluator(noise_free_spec())
+        op = make_compute_op()
+        evaluation = evaluator.evaluate(op, 1600.0)
+        assert evaluation.total_cycles == pytest.approx(
+            evaluation.duration_us * 1600.0
+        )
+
+    def test_max_utilisation_helper(self, evaluator):
+        evaluation = evaluator.evaluate(make_compute_op(), 1500.0)
+        pipe, ratio = evaluation.max_utilisation()
+        assert pipe is not None
+        assert ratio == max(evaluation.utilisation.values())

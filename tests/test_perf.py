@@ -1,0 +1,306 @@
+"""Tests for the performance model: cycle analysis, fitting, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, ProfilingError, WorkloadError
+from repro.npu import MemoryHierarchy
+from repro.npu.timeline import Scenario
+from repro.perf import (
+    FitFunction,
+    OperatorCycleModel,
+    build_performance_model,
+    fit_func1,
+    fit_func2,
+    fit_func3,
+    fit_performance,
+    select_fit_frequencies,
+    validate_performance_model,
+)
+from repro.workloads.operator import OperatorKind, make_fixed_operator
+from tests.conftest import make_compute_op
+
+GRID = [1000.0 + 100.0 * i for i in range(9)]
+
+
+class TestCycleModel:
+    def test_matches_evaluator_duration(self, evaluator, npu_spec):
+        op = make_compute_op()
+        model = OperatorCycleModel(op, npu_spec.memory)
+        for freq in (1000.0, 1400.0, 1800.0):
+            assert model.time_us(freq) == pytest.approx(
+                evaluator.duration_us(op, freq)
+            )
+
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    def test_cycles_convex_in_all_scenarios(self, npu_spec, scenario):
+        op = make_compute_op(scenario=scenario, derate=0.8)
+        model = OperatorCycleModel(op, npu_spec.memory)
+        assert model.is_convex_on(GRID)
+
+    def test_slopes_nondecreasing(self, npu_spec):
+        """Sect. 4.2.5: with increasing frequency the slope increases."""
+        op = make_compute_op(ld_bytes=4_000_000.0, derate=0.9)
+        model = OperatorCycleModel(op, npu_spec.memory)
+        slopes = model.slope_profile(GRID)
+        assert np.all(np.diff(slopes) >= -1e-6)
+
+    def test_breakpoints_from_derate(self, npu_spec):
+        op = make_compute_op(derate=0.8)
+        model = OperatorCycleModel(op, npu_spec.memory)
+        expected_fs = npu_spec.memory.saturation_frequency(0.8)
+        for point in model.breakpoints_mhz():
+            assert point == pytest.approx(expected_fs)
+
+    def test_breakpoints_empty_without_transfers(self, npu_spec):
+        op = make_compute_op(ld_bytes=0.0, st_bytes=0.0)
+        model = OperatorCycleModel(op, npu_spec.memory)
+        assert model.breakpoints_mhz() == []
+
+    def test_rejects_noncompute(self, npu_spec):
+        op = make_fixed_operator("a", OperatorKind.AICPU, 5.0)
+        with pytest.raises(WorkloadError):
+            OperatorCycleModel(op, npu_spec.memory)
+
+    def test_transfer_law_saturation(self):
+        memory = MemoryHierarchy()
+        op = make_compute_op(derate=1.0)
+        model = OperatorCycleModel(op, memory)
+        assert model.load_law.saturation_mhz == pytest.approx(
+            memory.saturation_frequency()
+        )
+
+
+class TestFitting:
+    def test_func2_two_point_exact_interpolation(self):
+        fit = fit_func2([1000.0, 1800.0], [30.0, 21.5])
+        assert fit.predict_time_us(1000.0) == pytest.approx(30.0)
+        assert fit.predict_time_us(1800.0) == pytest.approx(21.5)
+
+    def test_func2_recovers_true_form(self):
+        # T(f) = a f + c / f with known parameters.
+        a, c = 0.004, 24_000.0
+        freqs = [1000.0, 1800.0]
+        times = [a * f + c / f for f in freqs]
+        fit = fit_func2(freqs, times)
+        assert fit.params[0] == pytest.approx(a)
+        assert fit.params[1] == pytest.approx(c)
+        # And predicts exactly everywhere.
+        assert fit.predict_time_us(1400.0) == pytest.approx(a * 1400 + c / 1400)
+
+    def test_func2_least_squares_with_more_points(self):
+        a, c = 0.004, 24_000.0
+        freqs = GRID
+        times = [a * f + c / f for f in freqs]
+        fit = fit_func2(freqs, times)
+        assert fit.params[0] == pytest.approx(a, rel=1e-6)
+
+    def test_func1_recovers_quadratic(self):
+        a, b, c = 0.003, 2.0, 20_000.0
+        freqs = [1000.0, 1400.0, 1800.0]
+        times = [(a * f * f + b * f + c) / f for f in freqs]
+        fit = fit_func1(freqs, times)
+        assert fit.predict_time_us(1200.0) == pytest.approx(
+            (a * 1200**2 + b * 1200 + c) / 1200, rel=1e-4
+        )
+
+    def test_func3_keeps_b_in_bounds(self):
+        a, b, c = 5000.0, 1.0006, 18_000.0
+        freqs = [1000.0, 1400.0, 1800.0]
+        times = [(a * b**f + c) / f for f in freqs]
+        fit = fit_func3(freqs, times)
+        assert fit.function is FitFunction.EXPONENTIAL
+        # The paper constrains b to [0, 10]; the naive mid-bounds start
+        # means the fit may be biased, but the bound always holds.
+        assert 0.0 <= fit.params[1] <= 10.0
+        for f, t in zip(freqs, times):
+            assert abs(float(fit.predict_time_us(f)) - t) / t < 0.5
+
+    def test_required_points(self):
+        assert FitFunction.QUADRATIC_NO_LINEAR.required_points == 2
+        assert FitFunction.QUADRATIC.required_points == 3
+        assert FitFunction.EXPONENTIAL.required_points == 3
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FittingError):
+            fit_func1([1000.0, 1800.0], [30.0, 20.0])
+        with pytest.raises(FittingError):
+            fit_func2([1000.0], [30.0])
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(FittingError):
+            fit_func2([1000.0, 1000.0], [30.0, 31.0])
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(FittingError):
+            fit_func2([1000.0, 1800.0], [30.0, -1.0])
+
+    def test_predict_rejects_nonpositive_frequency(self):
+        fit = fit_func2([1000.0, 1800.0], [30.0, 21.0])
+        with pytest.raises(FittingError):
+            fit.predict_time_us(0.0)
+
+    def test_predict_cycles(self):
+        fit = fit_func2([1000.0, 1800.0], [30.0, 21.0])
+        assert fit.predict_cycles(1000.0) == pytest.approx(30_000.0)
+
+    def test_fit_performance_dispatch(self):
+        fit = fit_performance(
+            [1000.0, 1800.0], [30.0, 21.0], FitFunction.QUADRATIC_NO_LINEAR
+        )
+        assert fit.function is FitFunction.QUADRATIC_NO_LINEAR
+
+    def test_select_fit_frequencies(self):
+        freqs = [1000.0, 1300.0, 1500.0, 1800.0]
+        assert select_fit_frequencies(freqs, FitFunction.QUADRATIC_NO_LINEAR) == [
+            1000.0,
+            1800.0,
+        ]
+        chosen = select_fit_frequencies(freqs, FitFunction.QUADRATIC)
+        assert chosen[0] == 1000.0 and chosen[-1] == 1800.0 and len(chosen) == 3
+
+    def test_select_rejects_insufficient(self):
+        with pytest.raises(FittingError):
+            select_fit_frequencies([1000.0, 1800.0], FitFunction.QUADRATIC)
+
+    def test_vectorised_prediction(self):
+        fit = fit_func2([1000.0, 1800.0], [30.0, 21.0])
+        result = fit.predict_time_us(np.array([1000.0, 1800.0]))
+        assert result.shape == (2,)
+
+
+class TestWorkloadModel:
+    def test_build_and_predict(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        assert model.fit_freqs_mhz == (1000.0, 1800.0)
+        assert len(model) > 0
+        name = next(iter(model.operators))
+        assert model.predict_time_us(name, 1400.0) > 0
+
+    def test_unknown_operator_rejected(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        with pytest.raises(FittingError):
+            model.predict_time_us("nope", 1400.0)
+
+    def test_noncompute_constant(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        fixed = [
+            m for m in model.operators.values() if not m.frequency_sensitive
+        ]
+        assert fixed, "trace should contain AICPU/communication operators"
+        for op_model in fixed[:5]:
+            assert op_model.predict_time_us(1000.0) == pytest.approx(
+                op_model.predict_time_us(1800.0)
+            )
+
+    def test_compute_slower_at_low_frequency(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        sensitive = [
+            m for m in model.operators.values() if m.frequency_sensitive
+        ]
+        slower = sum(
+            1
+            for m in sensitive
+            if m.predict_time_us(1000.0) > m.predict_time_us(1800.0)
+        )
+        assert slower / len(sensitive) > 0.9
+
+    def test_duration_matrix_shape(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        names = list(model.operators)[:4]
+        matrix = model.duration_matrix(names, GRID)
+        assert matrix.shape == (4, 9)
+        assert np.all(matrix > 0)
+
+    def test_explicit_fit_freqs_validated(self, bert_profile_reports):
+        with pytest.raises(ProfilingError):
+            build_performance_model(
+                bert_profile_reports, fit_freqs_mhz=(1000.0, 1700.0)
+            )
+
+    def test_validation_excludes_fit_freqs(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        validation = validate_performance_model(model, bert_profile_reports)
+        freqs = {record.freq_mhz for record in validation.records}
+        assert freqs == {1300.0, 1500.0}
+
+    def test_validation_accuracy_matches_paper_shape(
+        self, bert_profile_reports
+    ):
+        """Fig. 15 / Sect. 7.2: Func. 2 averages ~2% error, with the bulk
+        of predictions within 5% and nearly all within 10%."""
+        model = build_performance_model(bert_profile_reports)
+        validation = validate_performance_model(model, bert_profile_reports)
+        assert validation.summary.mean < 0.04
+        assert validation.summary.within_5pct > 0.85
+        assert validation.summary.within_10pct > 0.95
+
+    def test_func1_at_least_as_accurate_as_func3(self, bert_profile_reports):
+        func1 = validate_performance_model(
+            build_performance_model(
+                bert_profile_reports, function=FitFunction.QUADRATIC,
+                fit_freqs_mhz=(1000.0, 1300.0, 1800.0),
+            ),
+            bert_profile_reports,
+        )
+        assert func1.summary.mean < 0.04
+
+    def test_error_cdf_is_monotone(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        validation = validate_performance_model(model, bert_profile_reports)
+        xs, ps = validation.error_cdf()
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ps) >= 0)
+
+    def test_errors_for_operator(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        validation = validate_performance_model(model, bert_profile_reports)
+        name = validation.records[0].name
+        records = validation.errors_for(name)
+        assert all(r.name == name for r in records)
+        freqs = [r.freq_mhz for r in records]
+        assert freqs == sorted(freqs)
+
+    def test_validation_needs_holdout(self, bert_profile_reports):
+        # Fit on every profiled frequency -> nothing left to validate on.
+        model = build_performance_model(
+            bert_profile_reports,
+            fit_freqs_mhz=(1000.0, 1300.0, 1500.0, 1800.0),
+        )
+        with pytest.raises(ProfilingError):
+            validate_performance_model(model, bert_profile_reports)
+
+
+class TestModelRobustness:
+    def test_operator_missing_at_one_frequency_rejected(
+        self, bert_profile_reports
+    ):
+        """A profiling pass that lost an operator at one frequency cannot
+        silently produce a model for it."""
+        from dataclasses import replace
+
+        full = bert_profile_reports
+        name = full[0].operators[0].name
+        truncated = [
+            full[0],
+            replace(
+                full[-1],
+                operators=tuple(
+                    op for op in full[-1].operators if op.name != name
+                ),
+            ),
+        ]
+        with pytest.raises(ProfilingError):
+            build_performance_model(
+                truncated, fit_freqs_mhz=(1000.0, 1800.0)
+            )
+
+    def test_higher_cutoff_shrinks_validation_set(self, bert_profile_reports):
+        model = build_performance_model(bert_profile_reports)
+        low = validate_performance_model(
+            model, bert_profile_reports, cutoff_us=20.0
+        )
+        high = validate_performance_model(
+            model, bert_profile_reports, cutoff_us=100.0
+        )
+        assert high.data_points < low.data_points

@@ -1,0 +1,254 @@
+"""Tests for the exact PWL algebra and the sensitivity analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvfs.sensitivity import (
+    operator_trade_curve,
+    rank_by_exchange_rate,
+)
+from repro.errors import ConfigurationError, FittingError
+from repro.npu import MemoryHierarchy
+from repro.npu.timeline import Scenario
+from repro.perf.piecewise import (
+    PiecewiseLinear,
+    ideal_cycle_pwl,
+    ideal_transfer_pwl,
+)
+from repro.workloads.operator import OperatorKind, make_fixed_operator
+from tests.conftest import make_compute_op
+
+DOMAIN = (1000.0, 1800.0)
+
+
+class TestPiecewiseLinear:
+    def test_linear_evaluation(self):
+        f = PiecewiseLinear.linear(2.0, 1.0, DOMAIN)
+        assert f(1000.0) == pytest.approx(2001.0)
+        assert f(1400.0) == pytest.approx(2801.0)
+        assert f.segment_count() == 1
+
+    def test_constant(self):
+        f = PiecewiseLinear.constant(7.0, DOMAIN)
+        assert f(1234.5) == 7.0
+        assert f.slopes() == [0.0]
+
+    def test_out_of_domain_rejected(self):
+        f = PiecewiseLinear.constant(1.0, DOMAIN)
+        with pytest.raises(ConfigurationError):
+            f(999.0)
+
+    def test_addition(self):
+        f = PiecewiseLinear.linear(1.0, 0.0, DOMAIN)
+        g = PiecewiseLinear.linear(2.0, 5.0, DOMAIN)
+        h = f + g
+        assert h(1500.0) == pytest.approx(1500.0 + 3005.0)
+        assert h.segment_count() == 1
+
+    def test_maximum_inserts_crossing(self):
+        rising = PiecewiseLinear.linear(1.0, 0.0, DOMAIN)
+        flat = PiecewiseLinear.constant(1400.0, DOMAIN)
+        m = rising.maximum(flat)
+        assert m.breakpoints() == pytest.approx([1400.0])
+        assert m(1200.0) == 1400.0
+        assert m(1600.0) == 1600.0
+
+    def test_maximum_without_crossing_has_one_segment(self):
+        f = PiecewiseLinear.linear(1.0, 0.0, DOMAIN)
+        g = PiecewiseLinear.linear(1.0, -100.0, DOMAIN)
+        assert f.maximum(g).segment_count() == 1
+
+    def test_scaled(self):
+        f = PiecewiseLinear.linear(1.0, 1.0, DOMAIN)
+        assert f.scaled(3.0)(1000.0) == pytest.approx(3003.0)
+        with pytest.raises(ConfigurationError):
+            f.scaled(-1.0)
+
+    def test_domain_mismatch_rejected(self):
+        f = PiecewiseLinear.constant(1.0, DOMAIN)
+        g = PiecewiseLinear.constant(1.0, (500.0, 1800.0))
+        with pytest.raises(ConfigurationError):
+            _ = f + g
+
+    @given(
+        s1=st.floats(-5.0, 5.0), b1=st.floats(-1e4, 1e4),
+        s2=st.floats(-5.0, 5.0), b2=st.floats(-1e4, 1e4),
+        x=st.floats(1000.0, 1800.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_max_matches_pointwise(self, s1, b1, s2, b2, x):
+        f = PiecewiseLinear.linear(s1, b1, DOMAIN)
+        g = PiecewiseLinear.linear(s2, b2, DOMAIN)
+        assert f.maximum(g)(x) == pytest.approx(
+            max(s1 * x + b1, s2 * x + b2), abs=1e-6, rel=1e-9
+        )
+
+    @given(
+        s1=st.floats(-5.0, 5.0), b1=st.floats(-1e4, 1e4),
+        s2=st.floats(-5.0, 5.0), b2=st.floats(-1e4, 1e4),
+        x=st.floats(1000.0, 1800.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_add_matches_pointwise(self, s1, b1, s2, b2, x):
+        f = PiecewiseLinear.linear(s1, b1, DOMAIN)
+        g = PiecewiseLinear.linear(s2, b2, DOMAIN)
+        assert (f + g)(x) == pytest.approx(
+            (s1 + s2) * x + b1 + b2, abs=1e-6, rel=1e-9
+        )
+
+
+class TestIdealCycleModel:
+    def test_transfer_breakpoint_at_saturation(self):
+        memory = MemoryHierarchy()
+        derate = 1.0
+        pwl = ideal_transfer_pwl(5_000_000.0, memory, derate, DOMAIN)
+        fs = memory.saturation_frequency(derate)
+        assert pwl.breakpoints() == pytest.approx([fs])
+
+    def test_transfer_outside_range_has_single_segment(self):
+        memory = MemoryHierarchy()
+        # fs below 1000 MHz: fully saturated across the domain.
+        pwl = ideal_transfer_pwl(5_000_000.0, memory, 0.5, DOMAIN)
+        assert pwl.segment_count() == 1
+
+    def test_zero_volume_constant(self):
+        pwl = ideal_transfer_pwl(0.0, MemoryHierarchy(), 1.0, DOMAIN)
+        assert pwl(1400.0) == 0.0
+
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    def test_all_scenarios_convex(self, scenario, npu_spec):
+        op = make_compute_op(scenario=scenario, derate=0.9)
+        pwl = ideal_cycle_pwl(op, npu_spec.memory)
+        assert pwl.is_convex()
+
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    def test_segment_count_in_paper_band(self, scenario, npu_spec):
+        """Sect. 4.3: the ideal model has one to five linear segments
+        within the DVFS range (for one Ld/St saturation point each)."""
+        op = make_compute_op(
+            scenario=scenario,
+            derate=0.9,
+            ld_bytes=2_000_000.0,
+            st_bytes=900_000.0,
+        )
+        pwl = ideal_cycle_pwl(op, npu_spec.memory)
+        assert 1 <= pwl.segment_count() <= 5
+
+    def test_compute_bound_has_no_breakpoints(self, npu_spec):
+        op = make_compute_op(
+            core_cycles=1e6, ld_bytes=1000.0, st_bytes=1000.0, derate=1.0
+        )
+        pwl = ideal_cycle_pwl(op, npu_spec.memory)
+        assert pwl.segment_count() <= 2
+
+    def test_matches_smoothed_model_away_from_corner(self, npu_spec, evaluator):
+        """Far from the saturation corner the ideal and smoothed models
+        agree; near the corner they differ by at most the 2^(1/p) bound."""
+        op = make_compute_op(derate=1.0)
+        pwl = ideal_cycle_pwl(op, npu_spec.memory)
+        for freq in (1000.0, 1800.0):
+            smoothed = evaluator.duration_us(op, freq) * freq
+            ideal = pwl(freq)
+            assert smoothed == pytest.approx(ideal, rel=0.12)
+            assert smoothed >= ideal - 1e-6
+
+    def test_rejects_noncompute(self, npu_spec):
+        op = make_fixed_operator("a", OperatorKind.AICPU, 5.0)
+        with pytest.raises(ConfigurationError):
+            ideal_cycle_pwl(op, npu_spec.memory)
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    from repro import EnergyOptimizer, OptimizerConfig
+    from repro.dvfs import GaConfig
+    from repro.workloads import generate
+
+    optimizer = EnergyOptimizer(
+        OptimizerConfig(ga=GaConfig(population_size=40, iterations=40))
+    )
+    trace = generate("gpt3", scale=0.02)
+    bundle = optimizer.profile(trace)
+    models = optimizer.build_models(bundle)
+    freqs = optimizer.config.npu.frequencies.points
+    return models, freqs
+
+
+class TestSensitivity:
+    def test_trade_curve_shape(self, fitted_models):
+        models, freqs = fitted_models
+        name = next(
+            n for n, m in models.performance.operators.items()
+            if m.op_type == "MatMul"
+        )
+        curve = operator_trade_curve(
+            name, models.performance, models.power, freqs
+        )
+        assert len(curve.points) == len(freqs)
+        baseline = curve.points[-1]
+        assert baseline.performance_loss == pytest.approx(0.0)
+        assert baseline.power_gain == pytest.approx(0.0)
+        lowest = curve.points[0]
+        assert lowest.performance_loss > 0.3  # compute bound: ~1/f
+        assert lowest.power_gain > 0.2
+
+    def test_memory_op_better_exchange_than_matmul(self, fitted_models):
+        models, freqs = fitted_models
+        matmul = next(
+            n for n, m in models.performance.operators.items()
+            if m.op_type == "MatMul"
+        )
+        gelu = next(
+            n for n, m in models.performance.operators.items()
+            if m.op_type == "Gelu"
+        )
+        matmul_curve = operator_trade_curve(
+            matmul, models.performance, models.power, freqs
+        )
+        gelu_curve = operator_trade_curve(
+            gelu, models.performance, models.power, freqs
+        )
+        assert gelu_curve.at(1300.0).exchange_rate > (
+            matmul_curve.at(1300.0).exchange_rate
+        )
+
+    def test_unknown_operator_rejected(self, fitted_models):
+        models, freqs = fitted_models
+        with pytest.raises(FittingError):
+            operator_trade_curve(
+                "nope", models.performance, models.power, freqs
+            )
+
+    def test_at_unknown_frequency_rejected(self, fitted_models):
+        models, freqs = fitted_models
+        name = next(iter(models.performance.operators))
+        curve = operator_trade_curve(
+            name, models.performance, models.power, freqs
+        )
+        with pytest.raises(FittingError):
+            curve.at(1234.0)
+
+    def test_ranking_sorted_by_exchange(self, fitted_models):
+        models, freqs = fitted_models
+        ranking = rank_by_exchange_rate(
+            models.performance, models.power, freqs, max_loss=0.05
+        )
+        assert ranking, "expected at least one candidate under 5% loss"
+        rates = [point.exchange_rate for _, point in ranking]
+        finite = [r for r in rates if np.isfinite(r)]
+        assert finite == sorted(finite, reverse=True)
+
+    def test_best_exchange_respects_cap(self, fitted_models):
+        models, freqs = fitted_models
+        name = next(
+            n for n, m in models.performance.operators.items()
+            if m.op_type == "MatMul"
+        )
+        curve = operator_trade_curve(
+            name, models.performance, models.power, freqs
+        )
+        best = curve.best_exchange(max_loss=0.03)
+        if best is not None:
+            assert best.performance_loss <= 0.03

@@ -1,0 +1,114 @@
+"""Tests for the ground-truth power physics (paper Sect. 5.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npu import PowerSpec, solve_equilibrium_power
+from repro.npu.pipelines import Pipe
+
+
+class TestPowerSpec:
+    def test_idle_power_increases_with_frequency(self):
+        spec = PowerSpec()
+        assert spec.aicore_idle_power(1800.0, 0.945) > spec.aicore_idle_power(
+            1000.0, 0.78
+        )
+
+    def test_idle_power_composition_eq12(self):
+        spec = PowerSpec()
+        f, v = 1500.0, 0.9
+        expected = spec.beta_w_per_ghz_v2 * 1.5 * v * v + spec.theta_w_per_v * v
+        assert spec.aicore_idle_power(f, v) == pytest.approx(expected)
+
+    def test_active_power_scales_with_fv2(self):
+        spec = PowerSpec()
+        base = spec.aicore_active_power(10.0, 1000.0, 0.8)
+        double_f = spec.aicore_active_power(10.0, 2000.0, 0.8)
+        assert double_f == pytest.approx(2 * base)
+
+    def test_effective_alpha_weights_utilisation(self):
+        spec = PowerSpec()
+        full_cube = spec.effective_alpha({Pipe.CUBE: 1.0})
+        half_cube = spec.effective_alpha({Pipe.CUBE: 0.5})
+        assert full_cube == pytest.approx(2 * half_cube)
+
+    def test_effective_alpha_clamps_utilisation(self):
+        spec = PowerSpec()
+        assert spec.effective_alpha({Pipe.CUBE: 1.5}) == pytest.approx(
+            spec.effective_alpha({Pipe.CUBE: 1.0})
+        )
+
+    def test_effective_alpha_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec().effective_alpha({Pipe.CUBE: -0.1})
+
+    def test_thermal_power_linear_in_delta(self):
+        spec = PowerSpec()
+        assert spec.aicore_thermal_power(20.0, 0.9) == pytest.approx(
+            2 * spec.aicore_thermal_power(10.0, 0.9)
+        )
+
+    def test_soc_power_is_sum_of_parts(self):
+        spec = PowerSpec()
+        util = {Pipe.CUBE: 0.8}
+        f, v, dt, bw = 1800.0, 0.945, 30.0, 0.5
+        total = spec.soc_power(util, f, v, dt, bw)
+        parts = (
+            spec.aicore_power(util, f, v, dt)
+            + spec.coupled_power(f, v)
+            + spec.uncore_power(bw, dt)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_uncore_power_caps_bandwidth(self):
+        spec = PowerSpec()
+        assert spec.uncore_power(1.5, 0.0) == pytest.approx(
+            spec.uncore_power(1.0, 0.0)
+        )
+
+    def test_uncore_power_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec().uncore_power(-0.1, 0.0)
+
+    def test_uncore_share_is_dominant(self):
+        """Sect. 8.2: the uncore averages ~80% of SoC power."""
+        spec = PowerSpec()
+        util = {Pipe.CUBE: 0.8, Pipe.MTE2: 0.3}
+        soc = spec.soc_power(util, 1800.0, 0.945, 30.0, 0.6)
+        uncore = spec.uncore_power(0.6, 30.0)
+        assert 0.6 < uncore / soc < 0.95
+
+    def test_missing_pipe_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(pipe_alpha_w_per_ghz_v2={Pipe.CUBE: 10.0})
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(beta_w_per_ghz_v2=-1.0)
+
+
+class TestEquilibriumSolver:
+    def test_no_feedback(self):
+        power, delta = solve_equilibrium_power(200.0, 0.0, 0.14)
+        assert power == pytest.approx(200.0)
+        assert delta == pytest.approx(28.0)
+
+    def test_feedback_raises_power(self):
+        power, _ = solve_equilibrium_power(200.0, 0.5, 0.14)
+        assert power > 200.0
+        # Exact closed form: P = base / (1 - g*k)
+        assert power == pytest.approx(200.0 / (1 - 0.5 * 0.14))
+
+    def test_consistency(self):
+        power, delta = solve_equilibrium_power(180.0, 0.4, 0.14)
+        assert power == pytest.approx(180.0 + 0.4 * delta)
+        assert delta == pytest.approx(0.14 * power)
+
+    def test_thermal_runaway_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_equilibrium_power(200.0, 8.0, 0.14)
+
+    def test_default_spec_is_stable(self):
+        spec = PowerSpec()
+        gain = spec.thermal_feedback_gain(0.945)
+        assert gain * 0.14 < 1.0

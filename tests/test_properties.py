@@ -1,0 +1,279 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's mathematical claims as universally quantified
+properties over randomly drawn operators and model parameters:
+
+* every scenario's cycle function is convex with non-decreasing slopes
+  (Sect. 4.2.5);
+* the explicit timeline schedule always agrees with the closed forms
+  (Eqs. 5-8) and never reports a pipe busier than the total;
+* Func. 2's closed-form fit interpolates its two samples exactly;
+* the smooth-max relaxation is bounded between max and 2^(1/p) * max;
+* the thermal fixed point converges and satisfies both equations;
+* strategies survive JSON round-trips.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convexity import is_convex_samples
+from repro.dvfs import DvfsStrategy, StageKind, StagePlan
+from repro.npu.frequency import FrequencyGrid
+from repro.npu.memory import MemoryHierarchy, smooth_max
+from repro.npu.pipelines import Pipe
+from repro.npu.power import solve_equilibrium_power
+from repro.npu.timeline import (
+    BlockCosts,
+    Scenario,
+    build_timeline,
+    closed_form_cycles,
+)
+from repro.perf.fitting import fit_func2
+
+GRID = [1000.0 + 100.0 * i for i in range(9)]
+MIX = {Pipe.CUBE: 0.6, Pipe.VECTOR: 0.3, Pipe.SCALAR: 0.1}
+
+block_costs = st.builds(
+    BlockCosts,
+    ld_cycles=st.floats(0.0, 1e6),
+    st_cycles=st.floats(0.0, 1e6),
+    core_cycles=st.floats(0.0, 1e6),
+)
+
+scenarios = st.sampled_from(list(Scenario))
+block_counts = st.integers(1, 40)
+
+
+@given(scenario=scenarios, n=block_counts, costs=block_costs)
+@settings(max_examples=150, deadline=None)
+def test_timeline_matches_closed_form(scenario, n, costs):
+    timeline = build_timeline(scenario, n, costs, MIX)
+    assert math.isclose(
+        timeline.total_cycles,
+        closed_form_cycles(scenario, n, costs),
+        rel_tol=1e-12,
+        abs_tol=1e-9,
+    )
+
+
+@given(scenario=scenarios, n=block_counts, costs=block_costs)
+@settings(max_examples=150, deadline=None)
+def test_busy_cycles_bounded_by_total(scenario, n, costs):
+    timeline = build_timeline(scenario, n, costs, MIX)
+    for pipe, busy in timeline.busy_cycles().items():
+        assert busy <= timeline.total_cycles + 1e-6, pipe
+
+
+@given(scenario=scenarios, n=block_counts, costs=block_costs)
+@settings(max_examples=150, deadline=None)
+def test_stall_cycles_in_range(scenario, n, costs):
+    timeline = build_timeline(scenario, n, costs, MIX)
+    assert -1e-6 <= timeline.stall_cycles() <= timeline.total_cycles + 1e-6
+
+
+@given(
+    scenario=scenarios,
+    n=block_counts,
+    ld_bytes=st.floats(0.0, 5e7),
+    st_bytes=st.floats(0.0, 5e7),
+    core=st.floats(0.0, 1e6),
+    derate=st.floats(0.3, 1.5),
+    overhead=st.floats(0.0, 20.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_operator_cycles_convex_in_frequency(
+    scenario, n, ld_bytes, st_bytes, core, derate, overhead
+):
+    """Sect. 4.2.5's conclusion over the full operator parameter space."""
+    memory = MemoryHierarchy()
+
+    def cycles(freq):
+        costs = BlockCosts(
+            ld_cycles=memory.transfer_cycles(ld_bytes, freq, derate),
+            st_cycles=memory.transfer_cycles(st_bytes, freq, derate),
+            core_cycles=core,
+        )
+        return closed_form_cycles(scenario, n, costs) + overhead * freq
+
+    samples = [cycles(f) for f in GRID]
+    assert is_convex_samples(GRID, samples, rel_tol=1e-7)
+
+
+@given(
+    scenario=scenarios,
+    n=block_counts,
+    ld_bytes=st.floats(0.0, 5e7),
+    core=st.floats(0.0, 1e6),
+)
+@settings(max_examples=100, deadline=None)
+def test_duration_never_increases_with_frequency(scenario, n, ld_bytes, core):
+    memory = MemoryHierarchy()
+
+    def duration(freq):
+        costs = BlockCosts(
+            ld_cycles=memory.transfer_cycles(ld_bytes, freq),
+            st_cycles=0.0,
+            core_cycles=core,
+        )
+        return closed_form_cycles(scenario, n, costs) / freq
+
+    durations = [duration(f) for f in GRID]
+    assert all(b <= a + 1e-9 for a, b in zip(durations, durations[1:]))
+
+
+@given(
+    a=st.floats(1e-4, 1.0),
+    c=st.floats(1.0, 1e6),
+    f1=st.sampled_from(GRID[:4]),
+    f2=st.sampled_from(GRID[5:]),
+)
+@settings(max_examples=100, deadline=None)
+def test_func2_exact_on_its_own_family(a, c, f1, f2):
+    times = [a * f + c / f for f in (f1, f2)]
+    fit = fit_func2([f1, f2], times)
+    for f in GRID:
+        assert fit.predict_time_us(f) == pytest.approx(a * f + c / f, rel=1e-9)
+
+
+@given(x=st.floats(0.0, 1e9), y=st.floats(0.0, 1e9), p=st.floats(1.0, 64.0))
+@settings(max_examples=200, deadline=None)
+def test_smooth_max_bounds(x, y, p):
+    value = smooth_max(x, y, p)
+    top = max(x, y)
+    assert top <= value <= top * 2 ** (1.0 / p) + 1e-9
+
+
+@given(
+    base=st.floats(1.0, 500.0),
+    gain=st.floats(0.0, 2.0),
+    k=st.floats(0.01, 0.3),
+)
+@settings(max_examples=200, deadline=None)
+def test_equilibrium_solution_satisfies_both_equations(base, gain, k):
+    if gain * k >= 0.99:
+        return  # near/over runaway: rejected by the solver, tested elsewhere
+    power, delta = solve_equilibrium_power(base, gain, k)
+    assert power == pytest.approx(base + gain * delta, rel=1e-9)
+    assert delta == pytest.approx(k * power, rel=1e-9)
+
+
+@given(
+    freqs=st.lists(
+        st.sampled_from(GRID), min_size=1, max_size=12
+    ),
+    target=st.floats(0.01, 0.2),
+)
+@settings(max_examples=100, deadline=None)
+def test_strategy_json_roundtrip(freqs, target):
+    clock = 0.0
+    plans = []
+    for i, freq in enumerate(freqs):
+        plans.append(
+            StagePlan(
+                start_us=clock,
+                duration_us=5000.0 + i,
+                freq_mhz=freq,
+                kind=StageKind.LFC if i % 2 else StageKind.HFC,
+                anchor_op_index=i * 3,
+            )
+        )
+        clock += 5000.0 + i
+    strategy = DvfsStrategy("w", target, tuple(plans))
+    assert DvfsStrategy.from_json(strategy.to_json()) == strategy
+    assert strategy.setfreq_count <= max(0, len(freqs) - 1)
+
+
+@given(freq=st.floats(900.0, 1900.0))
+@settings(max_examples=200, deadline=None)
+def test_grid_nearest_is_valid_and_closest(freq):
+    grid = FrequencyGrid()
+    nearest = grid.nearest(freq)
+    assert grid.contains(nearest)
+    for point in grid.points:
+        assert abs(nearest - freq) <= abs(point - freq) + 1e-9
+
+
+@given(
+    volume=st.floats(1.0, 1e9),
+    derate=st.floats(0.2, 2.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_transfer_time_monotone_nonincreasing(volume, derate):
+    memory = MemoryHierarchy()
+    times = [memory.transfer_time_us(volume, f, derate) for f in GRID]
+    assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+
+
+@given(
+    utils=st.dictionaries(
+        st.sampled_from(list(Pipe)), st.floats(0.0, 1.0), max_size=6
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_effective_alpha_monotone_in_utilisation(utils):
+    from repro.npu.power import PowerSpec
+
+    spec = PowerSpec()
+    alpha = spec.effective_alpha(utils)
+    boosted = {pipe: min(1.0, value + 0.1) for pipe, value in utils.items()}
+    assert spec.effective_alpha(boosted) >= alpha - 1e-12
+
+
+@given(
+    runs=st.lists(
+        st.tuples(
+            st.floats(100.0, 20_000.0),   # duration
+            st.booleans(),                # sensitive?
+            st.floats(0.0, 200.0),        # gap
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    interval=st.sampled_from([1_000.0, 5_000.0, 20_000.0]),
+)
+@settings(max_examples=80, deadline=None)
+def test_preprocessing_invariants(runs, interval):
+    """Fig. 13 preprocessing invariants over random operator sequences:
+    every operator lands in exactly one stage, stages tile the timeline,
+    and every candidate except possibly a lone first one meets the
+    adjustment interval."""
+    from repro.dvfs import classify_operators, preprocess
+    from repro.npu.operators import OperatorKind
+    from repro.npu.pipelines import Pipe
+    from repro.npu.profiler import ProfiledOperator
+
+    ops = []
+    clock = 0.0
+    for i, (duration, sensitive, gap) in enumerate(runs):
+        clock += gap
+        ratios = (
+            {Pipe.CUBE: 0.9, Pipe.MTE2: 0.2}
+            if sensitive
+            else {Pipe.MTE2: 0.9, Pipe.VECTOR: 0.2}
+        )
+        ops.append(
+            ProfiledOperator(
+                index=i, name=f"p{i}", op_type="T",
+                kind=OperatorKind.COMPUTE, start_us=clock,
+                duration_us=duration, gap_before_us=gap, freq_mhz=1800.0,
+                ratios=ratios, straddled_switch=False,
+            )
+        )
+        clock += duration
+    result = preprocess(
+        classify_operators(ops), adjustment_interval_us=interval
+    )
+    covered = sorted(
+        index for stage in result.stages for index in stage.op_indices
+    )
+    assert covered == list(range(len(runs)))
+    for prev, nxt in zip(result.stages, result.stages[1:]):
+        assert nxt.start_us == pytest.approx(prev.end_us)
+    for stage in result.stages[:-1] if len(result.stages) > 1 else []:
+        assert stage.duration_us >= interval - 1e-6
+    for stage in result.stages:
+        assert 0.0 <= stage.sensitive_fraction <= 1.0 + 1e-9

@@ -1,0 +1,88 @@
+"""Tests for trace/spec JSON serialisation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    generate,
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.workloads.operator import OperatorKind, make_fixed_operator
+from repro.workloads.serialization import spec_from_dict, spec_to_dict
+from repro.workloads.trace import TraceEntry, build_trace
+from tests.conftest import make_compute_op
+
+
+class TestSpecSerialisation:
+    def test_compute_roundtrip(self):
+        spec = make_compute_op(name="rt", derate=0.8, overhead_us=2.5)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_fixed_roundtrip(self):
+        spec = make_fixed_operator("c", OperatorKind.COMMUNICATION, 42.0)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(WorkloadError):
+            spec_from_dict({"name": "x"})
+
+    def test_bad_enum_rejected(self):
+        payload = spec_to_dict(make_compute_op())
+        payload["compute"]["scenario"] = "warp_drive"
+        with pytest.raises(WorkloadError):
+            spec_from_dict(payload)
+
+
+class TestTraceSerialisation:
+    def test_roundtrip_preserves_entries(self):
+        trace = generate("bert", scale=0.05)
+        restored = trace_from_json(trace_to_json(trace))
+        assert restored.name == trace.name
+        assert restored.description == trace.description
+        assert restored.entries == trace.entries
+
+    def test_roundtrip_preserves_gaps_and_host_intervals(self):
+        op = make_compute_op(name="g")
+        trace = build_trace(
+            "g",
+            [
+                TraceEntry(op, gap_before_us=10.0),
+                TraceEntry(op, host_interval_us=20.0),
+            ],
+        )
+        restored = trace_from_json(trace_to_json(trace))
+        assert restored.entries[0].gap_before_us == 10.0
+        assert restored.entries[1].host_interval_us == 20.0
+
+    def test_specs_are_deduplicated(self):
+        op = make_compute_op(name="dup")
+        trace = build_trace("d", [op] * 50)
+        document = trace_to_json(trace)
+        assert document.count('"dup"') == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = generate("llama2_inference", scale=0.05)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert load_trace(path).entries == trace.entries
+
+    def test_restored_trace_executes_identically(self, ideal_device):
+        trace = generate("bert", scale=0.05)
+        restored = trace_from_json(trace_to_json(trace))
+        a = ideal_device.run(trace)
+        b = ideal_device.run(restored)
+        assert a.duration_us == pytest.approx(b.duration_us)
+        assert a.soc_energy_j == pytest.approx(b.soc_energy_j)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace_from_json('{"format_version": 99}')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace_from_json("{nope")
+        with pytest.raises(WorkloadError):
+            trace_from_json('{"format_version": 1, "name": "x"}')

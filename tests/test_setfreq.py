@@ -1,0 +1,143 @@
+"""Tests for SetFreq commands, frequency timelines, and anchored plans."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.npu import FrequencyGrid, SetFreqCommand, SetFreqSpec
+from repro.npu.setfreq import (
+    AnchoredFrequencyPlan,
+    AnchoredSwitch,
+    FrequencySwitch,
+    FrequencyTimeline,
+)
+
+
+class TestSetFreqCommand:
+    def test_effect_time_includes_latency(self):
+        command = SetFreqCommand(dispatch_time_us=100.0, target_mhz=1500.0)
+        spec = SetFreqSpec(latency_us=1000.0, extra_delay_us=0.0)
+        assert command.effect_time_us(spec) == pytest.approx(1100.0)
+
+    def test_extra_delay_adds(self):
+        command = SetFreqCommand(dispatch_time_us=0.0, target_mhz=1500.0)
+        spec = SetFreqSpec(latency_us=1000.0, extra_delay_us=14_000.0)
+        assert command.effect_time_us(spec) == pytest.approx(15_000.0)
+
+    def test_negative_dispatch_rejected(self):
+        with pytest.raises(StrategyError):
+            SetFreqCommand(dispatch_time_us=-1.0, target_mhz=1500.0)
+
+
+class TestFrequencyTimeline:
+    def test_constant(self):
+        timeline = FrequencyTimeline.constant(1800.0)
+        assert timeline.frequency_at(0.0) == 1800.0
+        assert timeline.frequency_at(1e9) == 1800.0
+        assert timeline.next_switch_after(0.0) is None
+
+    def test_switch_applies_inclusively(self):
+        timeline = FrequencyTimeline(
+            1800.0, (FrequencySwitch(100.0, 1200.0),)
+        )
+        assert timeline.frequency_at(99.9) == 1800.0
+        assert timeline.frequency_at(100.0) == 1200.0
+
+    def test_next_switch_is_strictly_after(self):
+        timeline = FrequencyTimeline(
+            1800.0,
+            (FrequencySwitch(100.0, 1200.0), FrequencySwitch(200.0, 1500.0)),
+        )
+        assert timeline.next_switch_after(100.0).time_us == 200.0
+        assert timeline.next_switch_after(50.0).time_us == 100.0
+
+    def test_same_time_switches_last_write_wins(self):
+        commands = [
+            SetFreqCommand(0.0, 1200.0),
+            SetFreqCommand(0.0, 1500.0),
+        ]
+        timeline = FrequencyTimeline.from_commands(
+            1800.0, commands, SetFreqSpec(latency_us=10.0)
+        )
+        assert timeline.frequency_at(10.0) == 1500.0
+        assert timeline.switch_count == 1
+
+    def test_from_commands_applies_latency(self):
+        timeline = FrequencyTimeline.from_commands(
+            1800.0,
+            [SetFreqCommand(500.0, 1000.0)],
+            SetFreqSpec(latency_us=1000.0),
+        )
+        assert timeline.frequency_at(1499.0) == 1800.0
+        assert timeline.frequency_at(1500.0) == 1000.0
+
+    def test_from_commands_validates_grid(self):
+        from repro.errors import FrequencyError
+
+        with pytest.raises(FrequencyError):
+            FrequencyTimeline.from_commands(
+                1800.0,
+                [SetFreqCommand(0.0, 1234.0)],
+                SetFreqSpec(),
+                grid=FrequencyGrid(),
+            )
+
+    def test_distinct_frequencies(self):
+        timeline = FrequencyTimeline(
+            1800.0, (FrequencySwitch(1.0, 1000.0), FrequencySwitch(2.0, 1800.0))
+        )
+        assert timeline.distinct_frequencies() == {1000.0, 1800.0}
+
+
+class TestAnchoredFrequencyPlan:
+    def test_switch_applies_at_anchor_start(self):
+        plan = AnchoredFrequencyPlan(
+            1800.0, [AnchoredSwitch(op_index=3, freq_mhz=1200.0)]
+        )
+        assert plan.frequency_at(50.0) == 1800.0
+        plan.on_op_start(3, 100.0)
+        assert plan.frequency_at(100.0) == 1200.0
+
+    def test_non_anchor_ops_ignored(self):
+        plan = AnchoredFrequencyPlan(
+            1800.0, [AnchoredSwitch(op_index=3, freq_mhz=1200.0)]
+        )
+        plan.on_op_start(2, 10.0)
+        assert plan.frequency_at(10.0) == 1800.0
+
+    def test_extra_delay_lands_late(self):
+        plan = AnchoredFrequencyPlan(
+            1800.0,
+            [AnchoredSwitch(op_index=0, freq_mhz=1000.0)],
+            extra_delay_us=14_000.0,
+        )
+        plan.on_op_start(0, 0.0)
+        assert plan.frequency_at(0.0) == 1800.0
+        switch = plan.next_switch_after(0.0)
+        assert switch is not None and switch.time_us == pytest.approx(14_000.0)
+        assert plan.frequency_at(14_000.0) == 1000.0
+
+    def test_reset_restores_initial(self):
+        plan = AnchoredFrequencyPlan(
+            1800.0, [AnchoredSwitch(op_index=0, freq_mhz=1000.0)]
+        )
+        plan.on_op_start(0, 0.0)
+        assert plan.frequency_at(0.0) == 1000.0
+        assert plan.applied_switch_count == 1
+        plan.reset()
+        assert plan.frequency_at(0.0) == 1800.0
+        assert plan.applied_switch_count == 0
+
+    def test_switch_count(self):
+        plan = AnchoredFrequencyPlan(
+            1800.0,
+            [AnchoredSwitch(0, 1000.0), AnchoredSwitch(5, 1800.0)],
+        )
+        assert plan.switch_count == 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(StrategyError):
+            AnchoredFrequencyPlan(1800.0, [], extra_delay_us=-1.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(StrategyError):
+            AnchoredSwitch(op_index=-1, freq_mhz=1000.0)

@@ -1,0 +1,173 @@
+"""Tests for the NPU spec validator and the uncore-frequency extension."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npu import (
+    FrequencyGrid,
+    NpuSpec,
+    PowerSpec,
+    SetFreqSpec,
+    ThermalSpec,
+    VoltageCurve,
+    default_npu_spec,
+)
+from repro.npu.pipelines import Pipe
+from repro.npu.validation import validate_spec
+from repro.units import ms_to_us
+
+
+class TestValidateSpec:
+    def test_default_spec_is_clean(self):
+        report = validate_spec(default_npu_spec())
+        assert report.ok
+        assert not report.errors
+
+    def test_thermal_runaway_detected(self):
+        spec = NpuSpec(
+            thermal=ThermalSpec(celsius_per_watt=0.9),
+            power=PowerSpec(
+                gamma_aicore_w_per_c_v=1.0, gamma_uncore_w_per_c_v=1.0
+            ),
+        )
+        report = validate_spec(spec)
+        assert not report.ok
+        assert any(f.code == "thermal-runaway" for f in report.errors)
+
+    def test_flat_voltage_warned(self):
+        spec = NpuSpec(voltage=VoltageCurve(knee_mhz=5000.0))
+        report = validate_spec(spec)
+        assert any(f.code == "flat-voltage" for f in report.warnings)
+        assert report.ok  # warning only
+
+    def test_zero_pipe_alpha_warned(self):
+        alphas = dict(PowerSpec().pipe_alpha_w_per_ghz_v2)
+        alphas[Pipe.SCALAR] = 0.0
+        spec = NpuSpec(power=PowerSpec(pipe_alpha_w_per_ghz_v2=alphas))
+        report = validate_spec(spec)
+        assert any(f.code == "zero-pipe-alpha" for f in report.warnings)
+
+    def test_no_dynamic_range_is_error(self):
+        alphas = {pipe: 0.0 for pipe in PowerSpec().pipe_alpha_w_per_ghz_v2}
+        spec = NpuSpec(power=PowerSpec(pipe_alpha_w_per_ghz_v2=alphas))
+        report = validate_spec(spec)
+        assert any(f.code == "no-dynamic-range" for f in report.errors)
+
+    def test_slow_setfreq_warned(self):
+        spec = NpuSpec(
+            setfreq=SetFreqSpec(extra_delay_us=ms_to_us(100.0))
+        )
+        report = validate_spec(spec)
+        assert any(f.code == "slow-setfreq" for f in report.warnings)
+
+    def test_saturation_band_warning(self):
+        spec = NpuSpec(
+            memory=replace(
+                default_npu_spec().memory, uncore_bandwidth_gbps=20_000.0
+            )
+        )
+        report = validate_spec(spec)
+        assert any(
+            f.code == "saturation-far-from-grid" for f in report.warnings
+        )
+
+    def test_render(self):
+        report = validate_spec(default_npu_spec())
+        assert "ok" in report.render()
+        bad = validate_spec(
+            NpuSpec(voltage=VoltageCurve(knee_mhz=5000.0))
+        )
+        assert "flat-voltage" in bad.render()
+
+    def test_custom_grid_spec_validates(self):
+        spec = NpuSpec(
+            name="custom",
+            frequencies=FrequencyGrid(810.0, 1410.0, 75.0),
+            voltage=VoltageCurve(flat_volts=0.75, knee_mhz=1000.0,
+                                 slope_volts_per_mhz=0.00045),
+        )
+        report = validate_spec(spec)
+        assert report.ok
+
+
+class TestUncoreFrequencyExtension:
+    def test_bandwidth_scales(self):
+        base = default_npu_spec()
+        scaled = base.with_uncore_frequency(0.5)
+        assert scaled.memory.uncore_bandwidth_gbps == pytest.approx(
+            0.5 * base.memory.uncore_bandwidth_gbps
+        )
+
+    def test_power_scales_only_dynamic_share(self):
+        base = default_npu_spec()
+        scaled = base.with_uncore_frequency(0.5)
+        dynamic = base.power.uncore_dynamic_fraction
+        expected = base.power.uncore_idle_watts * (1 - dynamic + dynamic * 0.5)
+        assert scaled.power.uncore_idle_watts == pytest.approx(expected)
+        assert scaled.power.uncore_bandwidth_watts == pytest.approx(
+            0.5 * base.power.uncore_bandwidth_watts
+        )
+
+    def test_unit_scale_is_identity(self):
+        base = default_npu_spec()
+        same = base.with_uncore_frequency(1.0)
+        assert same.memory.uncore_bandwidth_gbps == (
+            base.memory.uncore_bandwidth_gbps
+        )
+        assert same.power.uncore_idle_watts == pytest.approx(
+            base.power.uncore_idle_watts
+        )
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigurationError):
+            default_npu_spec().with_uncore_frequency(0.0)
+
+    def test_scaled_spec_still_validates(self):
+        report = validate_spec(default_npu_spec().with_uncore_frequency(0.7))
+        assert report.ok
+
+    def test_bad_dynamic_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(uncore_dynamic_fraction=1.5)
+
+
+class TestShippedProfiles:
+    def test_all_profiles_validate_clean(self):
+        from repro.npu import PROFILES, get_profile, validate_spec
+
+        for name in PROFILES:
+            report = validate_spec(get_profile(name))
+            assert report.ok, f"{name}: {report.render()}"
+
+    def test_unknown_profile_rejected(self):
+        from repro.npu import get_profile
+
+        with pytest.raises(KeyError):
+            get_profile("tpu-v9")
+
+    def test_pipeline_runs_on_edge_profile(self):
+        """The Sect. 8.3 claim against a radically different device: the
+        identical pipeline optimises a workload on a 2-core edge NPU."""
+        from repro import EnergyOptimizer, OptimizerConfig
+        from repro.dvfs import GaConfig
+        from repro.npu import edge_npu_spec
+        from repro.workloads import generate
+
+        spec = edge_npu_spec()
+        config = OptimizerConfig(
+            npu=spec,
+            performance_loss_target=0.04,
+            profile_freqs_mhz=(400.0, 600.0, 800.0),
+            ga=GaConfig(
+                population_size=40, iterations=80,
+                prior_lfc_mhz=500.0, prior_hfc_mhz=800.0, seed=0,
+            ),
+        )
+        optimizer = EnergyOptimizer(config)
+        trace = generate("llama2_inference", scale=0.05, batch=1,
+                         hidden=1024, host_interval_us=400.0)
+        report = optimizer.optimize(trace)
+        assert report.performance_loss < 0.06
+        assert report.baseline.aicore_watts < 5.0  # edge-scale envelope

@@ -1,0 +1,140 @@
+"""Statistical behaviour of the instruments and workload calibration bands.
+
+The instruments' noise must be unbiased (models average it out, as the
+paper's do), and the generated workloads must stay inside the calibration
+bands DESIGN.md documents — these tests pin both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rng import RngFactory
+from repro.npu import (
+    CannStyleProfiler,
+    FrequencyTimeline,
+    NpuDevice,
+    PowerTelemetry,
+    default_npu_spec,
+)
+from repro.workloads import build_trace, generate
+from tests.conftest import make_compute_op
+
+
+class TestInstrumentStatistics:
+    def test_profiler_duration_noise_is_unbiased(self, device, npu_spec):
+        op = make_compute_op(name="stat.op")
+        trace = build_trace("stat", [op] * 200)
+        result = device.run(trace, FrequencyTimeline.constant(1800.0))
+        profiler = CannStyleProfiler(
+            npu_spec, RngFactory(3).generator("stat-prof")
+        )
+        report = profiler.profile(result)
+        truth = result.records[0].duration_us
+        measured = np.array([op.duration_us for op in report.operators])
+        # Mean within ~3 standard errors of the truth.
+        sigma = npu_spec.noise.duration_sigma * truth
+        assert abs(measured.mean() - truth) < 3 * sigma / np.sqrt(200)
+        # Spread consistent with the configured sigma.
+        assert measured.std() == pytest.approx(sigma, rel=0.35)
+
+    def test_telemetry_power_noise_is_unbiased(self, device, npu_spec):
+        telemetry = PowerTelemetry(
+            npu_spec, RngFactory(4).generator("stat-telem")
+        )
+        chunks = device.run_idle(100_000.0, 1800.0, steps=4)
+        truth = chunks[0].soc_watts
+        readings = np.array(
+            [
+                telemetry.measure_chunks(chunks).soc_avg_watts
+                for _ in range(300)
+            ]
+        )
+        sigma = npu_spec.noise.power_sigma * truth
+        assert abs(readings.mean() - truth) < 3 * sigma / np.sqrt(300)
+
+    def test_distinct_seeds_give_distinct_measurements(
+        self, device, npu_spec
+    ):
+        op = make_compute_op(name="seed.op")
+        trace = build_trace("seed", [op])
+        result = device.run(trace)
+        a = CannStyleProfiler(
+            npu_spec, RngFactory(1).generator("p")
+        ).profile(result)
+        b = CannStyleProfiler(
+            npu_spec, RngFactory(2).generator("p")
+        ).profile(result)
+        assert a.operators[0].duration_us != b.operators[0].duration_us
+
+
+class TestWorkloadCalibrationBands:
+    """DESIGN.md's calibration targets, as regression bands (scaled runs
+    extrapolate linearly in the layer count)."""
+
+    @pytest.fixture(scope="class")
+    def calibrated_device(self):
+        return NpuDevice(default_npu_spec())
+
+    def test_gpt3_iteration_time_band(self, calibrated_device):
+        result = calibrated_device.run_stable(generate("gpt3", scale=0.05))
+        full_estimate = result.duration_us / 1e6 / 0.05
+        assert 9.0 < full_estimate < 13.5  # paper: 11.29 s
+
+    def test_gpt3_power_band(self, calibrated_device):
+        result = calibrated_device.run_stable(generate("gpt3", scale=0.05))
+        assert 40.0 < result.aicore_avg_watts < 52.0  # paper: 45.92 W
+        assert 225.0 < result.soc_avg_watts < 265.0  # paper: 250.04 W
+
+    def test_bert_iteration_time_band(self, calibrated_device):
+        result = calibrated_device.run_stable(generate("bert", scale=0.5))
+        full_estimate = result.duration_us / 1e6 / 0.5
+        assert 0.2 < full_estimate < 0.45  # paper: 0.309 s
+
+    def test_resnet50_iteration_time_band(self, calibrated_device):
+        result = calibrated_device.run_stable(generate("resnet50", scale=0.5))
+        full_estimate = result.duration_us / 1e6 / 0.5
+        assert 0.2 < full_estimate < 0.45  # paper: 0.317 s
+
+    def test_bert_has_highest_aicore_power(self, calibrated_device):
+        """Paper Table 3: BERT draws the most AICore power of the four
+        end-to-end models; our calibration preserves it being at the top
+        of the band."""
+        bert = calibrated_device.run_stable(generate("bert", scale=0.3))
+        gpt3 = calibrated_device.run_stable(generate("gpt3", scale=0.05))
+        assert bert.aicore_avg_watts > gpt3.aicore_avg_watts
+
+    def test_uncore_dominates_soc_power(self, calibrated_device):
+        """Sect. 8.2: uncore components average ~80% of SoC power."""
+        result = calibrated_device.run_stable(generate("gpt3", scale=0.05))
+        uncore_share = 1.0 - result.aicore_avg_watts / result.soc_avg_watts
+        assert 0.6 < uncore_share < 0.95
+
+
+class TestGaOperatorSemantics:
+    def test_crossover_is_tail_swap(self):
+        """Children produced by crossover are tail-swapped parents: every
+        gene comes from parent A's head or parent B's tail."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        n = 12
+        parent_a = np.zeros(n, dtype=int)
+        parent_b = np.ones(n, dtype=int)
+        # Reproduce the run_search crossover inline.
+        child = parent_a.copy()
+        k = int(rng.integers(1, n + 1))
+        child[n - k:] = parent_b[n - k:]
+        assert set(child[: n - k]) <= {0}
+        assert set(child[n - k:]) <= {1}
+
+    def test_mutation_changes_exactly_one_gene(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        n = 12
+        genome = np.full(n, 8, dtype=int)
+        position = int(rng.integers(0, n))
+        value = int(rng.integers(0, 9))
+        mutated = genome.copy()
+        mutated[position] = value
+        assert (mutated != genome).sum() <= 1

@@ -1,0 +1,120 @@
+"""Trace-summary utility tests and oplib <-> classifier contract tests.
+
+The contract tests pin the behavioural intent of each operator builder:
+what the profiler-side classifier should say about it at the baseline
+frequency.  If a builder's parameters drift, these catch the change.
+"""
+
+import pytest
+
+from repro.analysis.rng import RngFactory
+from repro.dvfs import Bottleneck, classify_operator
+from repro.npu import CannStyleProfiler, NpuDevice, noise_free_spec
+from repro.npu.pipelines import Pipe
+from repro.workloads import build_trace, generate, oplib
+from repro.workloads.summary import summarize_trace
+
+
+def classify_single(op, freq=1800.0):
+    device = NpuDevice(noise_free_spec())
+    profiler = CannStyleProfiler(
+        noise_free_spec(), RngFactory(0).generator("x")
+    )
+    from repro.npu.setfreq import FrequencyTimeline
+
+    result = device.run(
+        build_trace("single", [op]), FrequencyTimeline.constant(freq)
+    )
+    report = profiler.profile(result)
+    return classify_operator(report.operators[0])
+
+
+class TestOplibClassifierContracts:
+    def test_large_matmul_is_cube_bound(self):
+        classified = classify_single(oplib.matmul("c.mm", 4096, 4096, 4096))
+        assert classified.bottleneck is Bottleneck.CORE
+        assert classified.bound_pipe is Pipe.CUBE
+        assert classified.frequency_sensitive
+
+    def test_large_conv_is_cube_bound(self):
+        classified = classify_single(
+            oplib.conv2d("c.conv", 64, 256, 256, 28, 28)
+        )
+        assert classified.bottleneck is Bottleneck.CORE
+        assert classified.frequency_sensitive
+
+    def test_large_elementwise_is_uncore_bound(self):
+        classified = classify_single(
+            oplib.elementwise("c.add", "Add", 40_000_000, inputs=2)
+        )
+        assert classified.bottleneck is Bottleneck.UNCORE
+        assert not classified.frequency_sensitive
+
+    def test_gelu_is_uncore_bound(self):
+        classified = classify_single(
+            oplib.elementwise(
+                "c.gelu", "Gelu", 40_000_000, inputs=1, flops_per_element=4.0
+            )
+        )
+        assert classified.bottleneck is Bottleneck.UNCORE
+
+    def test_softmax_is_uncore_bound(self):
+        classified = classify_single(oplib.softmax("c.sm", 40_000_000))
+        assert classified.bottleneck is Bottleneck.UNCORE
+
+    def test_scalar_glue_is_no_pipeline_bound(self):
+        classified = classify_single(oplib.scalar_glue("c.cast"))
+        assert classified.bottleneck is Bottleneck.NO_PIPELINE
+        assert not classified.frequency_sensitive
+
+    def test_transpose_is_latency_bound(self):
+        classified = classify_single(oplib.transpose("c.t", 12_000_000))
+        assert classified.bottleneck is Bottleneck.LATENCY
+        assert classified.frequency_sensitive
+
+    def test_communication_kind(self):
+        classified = classify_single(oplib.communication("c.ar", 50e6))
+        assert classified.bottleneck is Bottleneck.COMMUNICATION
+
+    def test_aicpu_kind(self):
+        classified = classify_single(oplib.aicpu("c.cpu", 100.0))
+        assert classified.bottleneck is Bottleneck.AICPU
+
+
+class TestTraceSummary:
+    @pytest.fixture(scope="class")
+    def gpt3_summary(self):
+        device = NpuDevice(noise_free_spec())
+        return summarize_trace(generate("gpt3", scale=0.03), device)
+
+    def test_totals(self, gpt3_summary):
+        assert gpt3_summary.operator_count > 100
+        assert gpt3_summary.duration_us > 0
+        assert 0 < gpt3_summary.sensitive_time_fraction < 1
+
+    def test_matmul_dominates_time(self, gpt3_summary):
+        top = gpt3_summary.top_types(1)[0]
+        assert top.op_type == "MatMul"
+        assert top.time_share > 0.3
+
+    def test_short_operator_population(self, gpt3_summary):
+        """Paper Sect. 7.2: most operators are tiny but contribute almost
+        no time."""
+        assert gpt3_summary.short_operator_fraction > 0.4
+        assert gpt3_summary.short_operator_time_fraction < 0.05
+
+    def test_type_shares_sum_to_one(self, gpt3_summary):
+        assert sum(s.time_share for s in gpt3_summary.by_type) == (
+            pytest.approx(1.0)
+        )
+
+    def test_matmul_sensitive_gelu_not(self, gpt3_summary):
+        by_type = {s.op_type: s for s in gpt3_summary.by_type}
+        assert by_type["MatMul"].frequency_sensitive_share > 0.9
+        assert by_type["Gelu"].frequency_sensitive_share < 0.1
+
+    def test_render(self, gpt3_summary):
+        text = gpt3_summary.render()
+        assert "gpt3" in text
+        assert "MatMul" in text
+        assert "frequency-sensitive time" in text

@@ -1,0 +1,159 @@
+"""Tests for the four operator timeline scenarios (paper Sect. 4.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npu.pipelines import Pipe
+from repro.npu.timeline import (
+    BlockCosts,
+    Scenario,
+    Segment,
+    build_timeline,
+    closed_form_cycles,
+)
+
+MIX = {Pipe.CUBE: 0.7, Pipe.VECTOR: 0.2, Pipe.SCALAR: 0.1}
+
+
+def costs(ld=1200.0, st=800.0, core=1500.0):
+    return BlockCosts(ld_cycles=ld, st_cycles=st, core_cycles=core)
+
+
+class TestClosedForms:
+    def test_eq5_pingpong_free_independent(self):
+        c = costs()
+        n = 5
+        expected = (
+            c.ld_cycles + c.st_cycles + n * c.core_cycles
+            + (n - 1) * max(c.ld_cycles, c.st_cycles)
+        )
+        got = closed_form_cycles(Scenario.PINGPONG_FREE_INDEPENDENT, n, c)
+        assert got == pytest.approx(expected)
+
+    def test_eq6_pingpong_free_dependent(self):
+        c = costs()
+        got = closed_form_cycles(Scenario.PINGPONG_FREE_DEPENDENT, 5, c)
+        assert got == pytest.approx(5 * c.serial_cycles)
+
+    def test_eq7_pingpong_independent(self):
+        c = costs()
+        n = 5
+        expected = c.serial_cycles + (n - 1) * c.max_component
+        got = closed_form_cycles(Scenario.PINGPONG_INDEPENDENT, n, c)
+        assert got == pytest.approx(expected)
+
+    def test_eq8_pingpong_dependent_even(self):
+        c = costs()
+        got = closed_form_cycles(Scenario.PINGPONG_DEPENDENT, 6, c)
+        expected = max(3 * c.serial_cycles, c.max_component + 3 * c.serial_cycles)
+        assert got == pytest.approx(expected)
+
+    def test_eq8_single_block_is_serial(self):
+        c = costs()
+        got = closed_form_cycles(Scenario.PINGPONG_DEPENDENT, 1, c)
+        assert got == pytest.approx(c.serial_cycles)
+
+    def test_scenario_ordering(self):
+        """Pingpong helps; dependence hurts (for balanced costs)."""
+        c = costs()
+        n = 8
+        serial = closed_form_cycles(Scenario.PINGPONG_FREE_DEPENDENT, n, c)
+        half = closed_form_cycles(Scenario.PINGPONG_DEPENDENT, n, c)
+        pipelined = closed_form_cycles(Scenario.PINGPONG_INDEPENDENT, n, c)
+        assert pipelined <= half <= serial
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigurationError):
+            closed_form_cycles(Scenario.PINGPONG_INDEPENDENT, 0, costs())
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigurationError):
+            BlockCosts(ld_cycles=-1.0, st_cycles=0.0, core_cycles=0.0)
+
+
+class TestScenarioEnum:
+    def test_flags_roundtrip(self):
+        for pingpong in (False, True):
+            for dependent in (False, True):
+                scenario = Scenario.from_flags(pingpong, dependent)
+                assert scenario.pingpong == pingpong
+                assert scenario.dependent == dependent
+
+
+class TestBuildTimeline:
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_schedule_matches_closed_form(self, scenario, n):
+        c = costs()
+        timeline = build_timeline(scenario, n, c, MIX)
+        assert timeline.total_cycles == pytest.approx(
+            closed_form_cycles(scenario, n, c)
+        )
+        last_end = max(s.end for s in timeline.segments)
+        assert last_end <= timeline.total_cycles + 1e-6
+
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    def test_busy_never_exceeds_total(self, scenario):
+        timeline = build_timeline(scenario, 6, costs(), MIX)
+        for pipe, busy in timeline.busy_cycles().items():
+            assert busy <= timeline.total_cycles + 1e-6, pipe
+
+    def test_core_busy_equals_n_core_cycles(self):
+        c = costs()
+        timeline = build_timeline(Scenario.PINGPONG_INDEPENDENT, 4, c, MIX)
+        busy = timeline.busy_cycles()
+        core_busy = sum(
+            busy.get(p, 0.0) for p in (Pipe.CUBE, Pipe.VECTOR, Pipe.SCALAR)
+        )
+        assert core_busy == pytest.approx(4 * c.core_cycles)
+
+    def test_core_mix_fractions_respected(self):
+        c = costs()
+        timeline = build_timeline(Scenario.PINGPONG_FREE_DEPENDENT, 3, c, MIX)
+        busy = timeline.busy_cycles()
+        assert busy[Pipe.CUBE] == pytest.approx(0.7 * 3 * c.core_cycles)
+        assert busy[Pipe.VECTOR] == pytest.approx(0.2 * 3 * c.core_cycles)
+
+    def test_mem_pipe_busy_without_overlap(self):
+        c = costs()
+        timeline = build_timeline(Scenario.PINGPONG_FREE_INDEPENDENT, 5, c, MIX)
+        busy = timeline.busy_cycles()
+        assert busy[Pipe.MTE2] == pytest.approx(5 * c.ld_cycles)
+        assert busy[Pipe.MTE3] == pytest.approx(5 * c.st_cycles)
+
+    def test_zero_store_has_no_mte3_segments(self):
+        c = BlockCosts(ld_cycles=1000.0, st_cycles=0.0, core_cycles=500.0)
+        timeline = build_timeline(Scenario.PINGPONG_INDEPENDENT, 3, c, MIX)
+        assert all(s.pipe is not Pipe.MTE3 for s in timeline.segments)
+
+    def test_stall_cycles_nonnegative_and_bounded(self):
+        timeline = build_timeline(
+            Scenario.PINGPONG_FREE_DEPENDENT, 4, costs(), MIX
+        )
+        stall = timeline.stall_cycles()
+        assert 0.0 <= stall <= timeline.total_cycles
+
+    def test_serial_scenario_stall_is_mem_time(self):
+        c = costs()
+        timeline = build_timeline(Scenario.PINGPONG_FREE_DEPENDENT, 4, c, MIX)
+        assert timeline.stall_cycles() == pytest.approx(
+            4 * (c.ld_cycles + c.st_cycles)
+        )
+
+    def test_segment_validation(self):
+        with pytest.raises(ConfigurationError):
+            Segment(Pipe.CUBE, 10.0, 5.0)
+
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            build_timeline(
+                Scenario.PINGPONG_INDEPENDENT, 2, costs(), {Pipe.CUBE: 0.5}
+            )
+
+    def test_overlapping_ld_counts_once_in_pingpong_dependent(self):
+        """When Ld dominates, the two buffer streams' loads overlap; the
+        union-based busy accounting must stay below the total."""
+        c = BlockCosts(ld_cycles=5000.0, st_cycles=100.0, core_cycles=100.0)
+        timeline = build_timeline(Scenario.PINGPONG_DEPENDENT, 10, c, MIX)
+        busy = timeline.busy_cycles()
+        assert busy[Pipe.MTE2] <= timeline.total_cycles + 1e-6

@@ -1,0 +1,37 @@
+"""Unit-convention helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_us_mhz_product_is_cycles():
+    assert units.cycles(10.0, 1500.0) == 15_000.0
+
+
+def test_time_from_cycles_roundtrip():
+    cycles = units.cycles(12.5, 1300.0)
+    assert units.time_us_from_cycles(cycles, 1300.0) == pytest.approx(12.5)
+
+
+def test_time_from_cycles_rejects_nonpositive_frequency():
+    with pytest.raises(ValueError):
+        units.time_us_from_cycles(100.0, 0.0)
+
+
+def test_seconds_roundtrip():
+    assert units.us_to_seconds(units.seconds_to_us(3.5)) == pytest.approx(3.5)
+
+
+def test_ms_roundtrip():
+    assert units.us_to_ms(units.ms_to_us(7.25)) == pytest.approx(7.25)
+
+
+def test_gbps_conversion():
+    # 1 GB/s == 1000 bytes per microsecond.
+    assert units.gbps_to_bytes_per_us(1.0) == pytest.approx(1000.0)
+    assert units.bytes_per_us_to_gbps(2500.0) == pytest.approx(2.5)
+
+
+def test_one_second_is_million_us():
+    assert units.seconds_to_us(1.0) == 1_000_000.0

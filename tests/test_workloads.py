@@ -1,0 +1,234 @@
+"""Tests for the operator library, traces, and workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.npu.pipelines import Pipe
+from repro.npu.timeline import Scenario
+from repro.workloads import (
+    OperatorKind,
+    Trace,
+    TraceBuilder,
+    build_trace,
+    generate,
+    micro_loops,
+    oplib,
+    workload_names,
+)
+from repro.workloads.generators.cnns import SHUFFLENET_OPERATOR_COUNT
+from repro.workloads.registry import (
+    PERF_VALIDATION_WORKLOADS,
+    POWER_VALIDATION_WORKLOADS,
+)
+from repro.workloads.trace import TraceEntry
+from tests.conftest import make_compute_op
+
+
+class TestOplib:
+    def test_matmul_is_cube_heavy(self):
+        op = oplib.matmul("mm", 1024, 1024, 1024)
+        mix = op.compute.core_mix_dict
+        assert mix[Pipe.CUBE] > 0.5
+        assert op.compute.scenario is Scenario.PINGPONG_INDEPENDENT
+
+    def test_matmul_flops_to_cycles(self):
+        op = oplib.matmul("mm", 512, 512, 512)
+        total_cycles = op.compute.core_cycles_per_block * op.compute.n_blocks
+        assert total_cycles == pytest.approx(
+            2 * 512**3 / oplib.CUBE_FLOPS_PER_CYCLE
+        )
+
+    def test_matmul_rejects_bad_dims(self):
+        with pytest.raises(WorkloadError):
+            oplib.matmul("mm", 0, 10, 10)
+
+    def test_conv_efficiency_increases_cycles(self):
+        fast = oplib.conv2d("c1", 8, 64, 64, 28, 28, cube_efficiency=1.0)
+        slow = oplib.conv2d("c2", 8, 64, 64, 28, 28, cube_efficiency=0.5)
+        assert (
+            slow.compute.core_cycles_per_block * slow.compute.n_blocks
+            == pytest.approx(
+                2 * fast.compute.core_cycles_per_block * fast.compute.n_blocks
+            )
+        )
+
+    def test_conv_rejects_bad_efficiency(self):
+        with pytest.raises(WorkloadError):
+            oplib.conv2d("c", 1, 1, 1, 1, 1, cube_efficiency=0.0)
+
+    def test_elementwise_moves_inputs_plus_one_tensors(self):
+        op = oplib.elementwise("add", "Add", 1_000_000, inputs=2)
+        assert op.total_ld_bytes() == pytest.approx(2 * 1_000_000 * 2)
+        assert op.total_st_bytes() == pytest.approx(1_000_000 * 2)
+
+    def test_elementwise_is_vector_bound(self):
+        op = oplib.elementwise("gelu", "Gelu", 1_000_000, inputs=1)
+        assert op.compute.core_mix_dict[Pipe.VECTOR] > 0.5
+
+    def test_big_memory_op_gets_many_blocks(self):
+        op = oplib.elementwise("big", "Add", 50_000_000)
+        assert op.compute.n_blocks > 8
+
+    def test_reduction_shrinks_output(self):
+        op = oplib.reduction("rm", "ReduceMean", 1_000_000, reduce_factor=100)
+        assert op.total_st_bytes() < op.total_ld_bytes() / 10
+
+    def test_normalization_is_pingpong_dependent(self):
+        op = oplib.normalization("ln", "LayerNorm", 1_000_000)
+        assert op.compute.scenario is Scenario.PINGPONG_DEPENDENT
+
+    def test_scalar_glue_is_overhead_dominated(self):
+        op = oplib.scalar_glue("cast")
+        assert op.compute.fixed_overhead_us >= 5.0
+        assert op.compute.n_blocks == 1
+
+    def test_transpose_serial_scenario(self):
+        op = oplib.transpose("t", 1_000_000)
+        assert op.compute.scenario is Scenario.PINGPONG_FREE_DEPENDENT
+
+    def test_communication_duration_from_link(self):
+        op = oplib.communication("ar", 28_000_000.0, link_gbps=28.0)
+        assert op.kind is OperatorKind.COMMUNICATION
+        assert op.fixed_duration_us == pytest.approx(1000.0)
+
+    def test_communication_rejects_zero_volume(self):
+        with pytest.raises(WorkloadError):
+            oplib.communication("ar", 0.0)
+
+    def test_aicpu_and_idle(self):
+        assert oplib.aicpu("a", 10.0).kind is OperatorKind.AICPU
+        assert oplib.idle("i", 10.0).kind is OperatorKind.IDLE
+
+
+class TestTrace:
+    def test_build_trace_from_specs(self):
+        trace = build_trace("t", [make_compute_op("a"), make_compute_op("b")])
+        assert trace.operator_count == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace(name="t", entries=())
+
+    def test_unnamed_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_trace("", [make_compute_op("a")])
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceEntry(make_compute_op("a"), gap_before_us=-1.0)
+
+    def test_negative_host_interval_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceEntry(make_compute_op("a"), host_interval_us=-1.0)
+
+    def test_unique_specs_dedupes(self):
+        op = make_compute_op("dup")
+        trace = build_trace("t", [op, op, make_compute_op("other")])
+        assert len(trace.unique_specs()) == 2
+
+    def test_count_by_kind_and_type(self):
+        trace = build_trace(
+            "t",
+            [
+                make_compute_op("a"),
+                oplib.aicpu("b", 5.0),
+                oplib.communication("c", 1e6),
+            ],
+        )
+        kinds = trace.count_by_kind()
+        assert kinds[OperatorKind.COMPUTE] == 1
+        assert kinds[OperatorKind.AICPU] == 1
+        assert trace.count_by_type()["Test"] == 1
+
+    def test_builder_add_repeated(self):
+        builder = TraceBuilder("t")
+        builder.add_repeated(make_compute_op("a"), 5)
+        assert builder.pending_count == 5
+        assert builder.build().operator_count == 5
+
+    def test_builder_rejects_negative_count(self):
+        with pytest.raises(WorkloadError):
+            TraceBuilder("t").add_repeated(make_compute_op("a"), -1)
+
+    def test_build_trace_rejects_garbage(self):
+        with pytest.raises(WorkloadError):
+            build_trace("t", ["not an op"])  # type: ignore[list-item]
+
+
+class TestGenerators:
+    def test_registry_names(self):
+        names = workload_names()
+        for expected in ("gpt3", "bert", "resnet50", "resnet152", "vgg19",
+                         "alexnet", "shufflenetv2plus", "vit_base",
+                         "deit_small", "llama2_inference"):
+            assert expected in names
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate("nonexistent")
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_all_generators_produce_traces(self, name):
+        trace = generate(name, scale=0.05)
+        assert trace.operator_count > 0
+        assert trace.name == name
+
+    def test_generators_are_deterministic(self):
+        a = generate("bert", scale=0.05, seed=3)
+        b = generate("bert", scale=0.05, seed=3)
+        assert a.entries == b.entries
+
+    def test_seed_changes_trace(self):
+        a = generate("bert", scale=0.05, seed=3)
+        b = generate("bert", scale=0.05, seed=4)
+        assert a.entries != b.entries
+
+    def test_scale_shrinks_trace(self):
+        small = generate("gpt3", scale=0.02)
+        larger = generate("gpt3", scale=0.05)
+        assert small.operator_count < larger.operator_count
+
+    def test_gpt3_structure(self):
+        trace = generate("gpt3", scale=0.05)
+        kinds = trace.count_by_kind()
+        assert kinds[OperatorKind.COMPUTE] > 0
+        assert kinds[OperatorKind.COMMUNICATION] > 0
+        assert kinds[OperatorKind.AICPU] > 0
+        types = trace.count_by_type()
+        assert types["MatMul"] > 0
+        assert types["Gelu"] > 0
+        assert types["LayerNorm"] > 0
+
+    def test_gpt3_full_scale_operator_count(self):
+        """The paper reports ~18,000 operators per GPT-3 iteration; our
+        synthetic trace is the same order of magnitude."""
+        trace = generate("gpt3", scale=1.0)
+        assert 10_000 <= trace.operator_count <= 25_000
+
+    def test_shufflenet_exact_compute_count(self):
+        trace = generate("shufflenetv2plus")
+        compute = sum(
+            1 for e in trace.entries if e.spec.kind is OperatorKind.COMPUTE
+        )
+        assert compute == SHUFFLENET_OPERATOR_COUNT
+
+    def test_llama2_is_host_bound(self):
+        trace = generate("llama2_inference", scale=0.1)
+        paced = [e for e in trace.entries if e.host_interval_us > 0]
+        assert len(paced) == len(trace.entries)
+
+    def test_validation_workload_lists_are_registered(self):
+        for name in PERF_VALIDATION_WORKLOADS + POWER_VALIDATION_WORKLOADS:
+            assert name in workload_names()
+
+    def test_micro_loops(self):
+        loops = micro_loops()
+        trace = loops["softmax_loop"](repeats=5)
+        assert trace.operator_count == 5
+        assert loops["calibration_load"](repeats=2).operator_count == 4
+
+    def test_operator_loop_rejects_zero_repeats(self):
+        from repro.workloads.generators import micro
+
+        with pytest.raises(WorkloadError):
+            micro.operator_loop(make_compute_op("x"), 0)
