@@ -1,0 +1,19 @@
+"""Benchmark: graceful degradation of the guarded runtime under faults."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_fault_tolerance(run_once):
+    result = run_once(
+        run_experiment, "ext_fault_tolerance", scale=0.05,
+        iterations=120, population=60,
+    )
+    # The safety envelope: savings degrade monotonically with the fault
+    # rate, and the measured loss never exceeds target + guard margin at
+    # any injected rate.
+    assert result.measured["degrades_monotonically"]
+    assert result.measured["loss_target_never_violated"]
+    assert all(
+        loss <= result.measured["loss_limit"]
+        for loss in result.measured["max_loss_by_rate"]
+    )

@@ -5,8 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.dvfs.ga import GaConfig
+from repro.dvfs.guard import GuardConfig
 from repro.dvfs.preprocessing import DEFAULT_ADJUSTMENT_INTERVAL_US
 from repro.errors import ConfigurationError
+from repro.npu.faults import FaultConfig
 from repro.npu.spec import NpuSpec, default_npu_spec
 from repro.perf.fitting import FitFunction
 
@@ -29,7 +31,13 @@ class OptimizerConfig:
         fit_function: the Sect. 4.3 surrogate for performance fitting.
         objective: power rail the search minimises (``"aicore"``/``"soc"``).
         ga: genetic-algorithm hyper-parameters.
-        seed: root seed for every stochastic component.
+        fault: injected fault rates for the substrate (all-zero by
+            default — a healthy control plane; see
+            :class:`repro.npu.faults.FaultConfig`).
+        guard: the guarded runtime's retry/readback/fallback knobs (see
+            :class:`repro.dvfs.guard.GuardConfig`).
+        seed: root seed for every stochastic component (fault injection
+            included, on its own named stream).
     """
 
     npu: NpuSpec = field(default_factory=default_npu_spec)
@@ -39,6 +47,8 @@ class OptimizerConfig:
     fit_function: FitFunction = FitFunction.QUADRATIC_NO_LINEAR
     objective: str = "aicore"
     ga: GaConfig = field(default_factory=GaConfig)
+    fault: FaultConfig = field(default_factory=FaultConfig)
+    guard: GuardConfig = field(default_factory=GuardConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -70,3 +80,11 @@ class OptimizerConfig:
     def with_interval(self, interval_us: float) -> "OptimizerConfig":
         """A copy with a different frequency adjustment interval."""
         return replace(self, adjustment_interval_us=interval_us)
+
+    def with_fault(self, fault: FaultConfig) -> "OptimizerConfig":
+        """A copy with different injected-fault rates."""
+        return replace(self, fault=fault)
+
+    def with_guard(self, guard: GuardConfig) -> "OptimizerConfig":
+        """A copy with different guarded-runtime knobs."""
+        return replace(self, guard=guard)

@@ -24,14 +24,24 @@ from repro.core.report import MeasuredMetrics, OptimizationReport
 from repro.dvfs.classification import classify_operators
 from repro.dvfs.executor import DvfsExecutor
 from repro.dvfs.ga import GaResult, run_search
+from repro.dvfs.guard import GuardedDvfsExecutor
 from repro.dvfs.preprocessing import PreprocessResult, preprocess
 from repro.dvfs.scoring import StrategyScorer
 from repro.dvfs.strategy import DvfsStrategy, strategy_from_genes
 from repro.npu.device import NpuDevice
+from repro.npu.faults import (
+    FaultInjector,
+    FaultyCannStyleProfiler,
+    FaultyPowerTelemetry,
+)
 from repro.npu.profiler import CannStyleProfiler, ProfileReport
 from repro.npu.setfreq import FrequencyTimeline
 from repro.npu.telemetry import PowerTelemetry
-from repro.perf.model import WorkloadPerformanceModel, build_performance_model
+from repro.perf.model import (
+    WorkloadPerformanceModel,
+    build_performance_model,
+    patch_missing_operators,
+)
 from repro.power.calibration import CalibrationConstants, run_offline_calibration
 from repro.power.optable import OperatorPowerTable, build_operator_power_table
 from repro.workloads.generators import micro
@@ -62,13 +72,36 @@ class EnergyOptimizer:
         self._config = config or OptimizerConfig()
         self._rng = RngFactory(self._config.seed)
         self._device = NpuDevice(self._config.npu)
-        self._profiler = CannStyleProfiler(
-            self._config.npu, self._rng.generator("profiler")
+        fault = self._config.fault
+        self._injector = (
+            FaultInjector(fault, self._rng.generator("faults"))
+            if fault.any_active
+            else None
         )
-        self._telemetry = PowerTelemetry(
-            self._config.npu, self._rng.generator("telemetry")
-        )
+        if self._injector is not None and fault.profiler_active:
+            self._profiler: CannStyleProfiler = FaultyCannStyleProfiler(
+                self._config.npu,
+                self._rng.generator("profiler"),
+                self._injector,
+            )
+        else:
+            self._profiler = CannStyleProfiler(
+                self._config.npu, self._rng.generator("profiler")
+            )
+        if self._injector is not None and fault.telemetry_active:
+            self._telemetry: PowerTelemetry = FaultyPowerTelemetry(
+                self._config.npu,
+                self._rng.generator("telemetry"),
+                self._injector,
+            )
+        else:
+            self._telemetry = PowerTelemetry(
+                self._config.npu, self._rng.generator("telemetry")
+            )
         self._executor = DvfsExecutor(self._device)
+        self._guarded = GuardedDvfsExecutor(
+            self._executor, config=self._config.guard, injector=self._injector
+        )
         self._calibration: CalibrationConstants | None = None
 
     @property
@@ -83,8 +116,18 @@ class EnergyOptimizer:
 
     @property
     def executor(self) -> DvfsExecutor:
-        """The SetFreq strategy executor."""
+        """The plain SetFreq strategy executor."""
         return self._executor
+
+    @property
+    def guarded_executor(self) -> GuardedDvfsExecutor:
+        """The guarded runtime measurements go through."""
+        return self._guarded
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        """The fault source, when the config injects faults."""
+        return self._injector
 
     @property
     def telemetry(self) -> PowerTelemetry:
@@ -140,12 +183,23 @@ class EnergyOptimizer:
         )
 
     def build_models(self, bundle: ProfilingBundle) -> ModelBundle:
-        """Step 2: fit the performance and power models."""
+        """Step 2: fit the performance and power models.
+
+        Under profiler faults, reports may miss operators; the model then
+        tolerates gaps and any name still absent is patched with its
+        baseline-report duration so strategy scoring stays total.
+        """
+        tolerant = self._config.fault.profiler_active
         performance = build_performance_model(
             list(bundle.reports),
             function=self._config.fit_function,
             fit_freqs_mhz=self._config.profile_freqs_mhz,
+            allow_missing=tolerant,
         )
+        if tolerant:
+            performance = patch_missing_operators(
+                performance, bundle.baseline_report
+            )
         power = build_operator_power_table(
             bundle.power_readings, self.calibrate()
         )
@@ -187,14 +241,20 @@ class EnergyOptimizer:
         return strategy, scorer, result
 
     def optimize(self, trace: Trace) -> OptimizationReport:
-        """Run the full Fig. 1 pipeline and measure the outcome."""
+        """Run the full Fig. 1 pipeline and measure the outcome.
+
+        Execution always goes through the guarded runtime: with the
+        default (healthy) fault config it reproduces the plain executor's
+        numbers exactly and only performs read-only post-hoc checks; with
+        faults injected it retries, reverts, and records incidents.
+        """
         bundle = self.profile(trace)
         models = self.build_models(bundle)
         candidates = self.preprocess(bundle)
         strategy, scorer, search_result = self.search(
             trace, models, candidates
         )
-        outcome = self._executor.execute_with_baseline(trace, strategy)
+        outcome = self._guarded.execute_with_baseline(trace, strategy)
         return OptimizationReport(
             workload=trace.name,
             performance_loss_target=self._config.performance_loss_target,
@@ -205,5 +265,7 @@ class EnergyOptimizer:
             search=search_result,
             stage_count=len(candidates.stages),
             operator_count=trace.operator_count,
+            incidents=outcome.incidents,
+            fell_back=outcome.fell_back,
         )
 

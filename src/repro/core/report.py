@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dvfs.ga import GaResult
+from repro.dvfs.guard import Incident
 from repro.dvfs.scoring import ScoreBreakdown
 from repro.dvfs.strategy import DvfsStrategy
 from repro.units import US_PER_S
@@ -41,6 +42,11 @@ class OptimizationReport:
     search: GaResult
     stage_count: int
     operator_count: int
+    #: Guard interventions recorded during the measured execution
+    #: (empty on a healthy control plane).
+    incidents: tuple[Incident, ...] = field(default=())
+    #: Whether the guarded runtime reverted the workload to baseline.
+    fell_back: bool = False
 
     @property
     def performance_loss(self) -> float:
@@ -80,9 +86,13 @@ class OptimizationReport:
             "aicore_reduction": f"{self.aicore_power_reduction:.2%}",
         }
 
+    def incident_rows(self) -> list[dict]:
+        """Guard-incident table rows (for :func:`format_table`)."""
+        return [incident.to_row() for incident in self.incidents]
+
     def summary(self) -> str:
         """One-paragraph human-readable summary."""
-        return (
+        text = (
             f"{self.workload}: loss target "
             f"{self.performance_loss_target:.0%} -> measured perf loss "
             f"{self.performance_loss:.2%}, AICore power "
@@ -95,6 +105,12 @@ class OptimizationReport:
             f"{self.setfreq_count} SetFreq over {self.stage_count} stages, "
             f"GA search {self.search.wall_seconds:.2f}s."
         )
+        if self.incidents:
+            text += (
+                f" Guard recorded {len(self.incidents)} incident(s)"
+                + (", reverted to baseline." if self.fell_back else ".")
+            )
+        return text
 
 
 def render_strategy_timeline(strategy, width: int = 72) -> str:

@@ -117,7 +117,9 @@ def sweep_loss_targets(
         strategy = strategy_from_genes(
             trace.name, candidates.stages, search.best_genes, freqs, target
         )
-        outcome = optimizer.executor.execute_with_baseline(trace, strategy)
+        outcome = optimizer.guarded_executor.execute_with_baseline(
+            trace, strategy
+        )
         reports.append(
             OptimizationReport(
                 workload=trace.name,
@@ -129,6 +131,8 @@ def sweep_loss_targets(
                 search=search,
                 stage_count=len(candidates.stages),
                 operator_count=trace.operator_count,
+                incidents=outcome.incidents,
+                fell_back=outcome.fell_back,
             )
         )
     return SweepResult(workload=trace.name, reports=tuple(reports))

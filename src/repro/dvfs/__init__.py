@@ -18,6 +18,14 @@ from repro.dvfs.classification import (
 )
 from repro.dvfs.executor import DvfsExecutor, ExecutionOutcome
 from repro.dvfs.ga import GaConfig, GaResult, initial_population, run_search
+from repro.dvfs.guard import (
+    GuardConfig,
+    GuardedDvfsExecutor,
+    GuardedFrequencyPlan,
+    GuardedOutcome,
+    Incident,
+    IncidentLog,
+)
 from repro.dvfs.model_free import ModelFreeScorer
 from repro.dvfs.sensitivity import (
     OperatorTradeCurve,
@@ -55,6 +63,12 @@ __all__ = [
     "FREQUENCY_SENSITIVE_BOTTLENECKS",
     "GaConfig",
     "GaResult",
+    "GuardConfig",
+    "GuardedDvfsExecutor",
+    "GuardedFrequencyPlan",
+    "GuardedOutcome",
+    "Incident",
+    "IncidentLog",
     "LATENCY_BOUND_THRESHOLD",
     "ModelFreeScorer",
     "OperatorTradeCurve",

@@ -3,6 +3,20 @@
 All exceptions raised intentionally by this library derive from
 :class:`ReproError`, so callers can catch library failures with a single
 ``except`` clause while letting genuine programming errors propagate.
+
+The robustness layer adds three typed failures so guard/retry code paths
+can react precisely instead of pattern-matching messages:
+
+* :class:`FaultInjectionError` — a fault-injection configuration or
+  request is invalid (bad rates, a faulty wrapper built without an
+  injector, ...).  Subclass of :class:`ConfigurationError`.
+* :class:`TelemetryError` — the telemetry plane returned no usable data
+  (for example, every sample of a window was dropped by an injected
+  sensor fault).  Subclass of :class:`ProfilingError`, so existing
+  measurement-error handlers keep working.
+* :class:`SetFreqTimeoutError` — a frequency change could not be
+  verified within the guard's retry budget and the guard was configured
+  not to revert to the baseline.  Subclass of :class:`StrategyError`.
 """
 
 from __future__ import annotations
@@ -28,12 +42,24 @@ class FittingError(ReproError):
     """A model-fitting routine failed to produce parameters."""
 
 
+class FaultInjectionError(ConfigurationError):
+    """A fault-injection configuration or request is invalid."""
+
+
 class ProfilingError(ReproError):
     """Profiling data is missing or inconsistent with the request."""
 
 
+class TelemetryError(ProfilingError):
+    """The telemetry plane returned no usable data."""
+
+
 class StrategyError(ReproError):
     """A DVFS strategy is malformed or incompatible with a trace."""
+
+
+class SetFreqTimeoutError(StrategyError):
+    """A frequency change was never verified within the retry budget."""
 
 
 class ConvergenceError(ReproError):

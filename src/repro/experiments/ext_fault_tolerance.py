@@ -1,0 +1,144 @@
+"""Extension — graceful degradation of the guarded runtime under faults.
+
+The paper's runtime assumes a perfect control plane; this study injects
+the :mod:`repro.npu.faults` fault model (dropped/duplicated/slow/stuck
+SetFreq, telemetry dropouts and spikes, profiler record loss, ambient
+steps) at increasing rates and measures what the guarded executor
+(:mod:`repro.dvfs.guard`) delivers.
+
+The safety envelope under test:
+
+* **Graceful degradation** — mean power savings decrease (within a small
+  trial-noise slack) as the fault rate rises, instead of collapsing or
+  oscillating: the guard converts unrecoverable runs into baseline runs
+  (zero savings, zero loss), never into pathological ones.  This is a
+  property of the sweep, not an invariant: at moderate rates a delayed
+  or retried recovery switch can *extend* LFC residency, transiently
+  deepening savings (and loss) within the envelope, so individual seeds
+  may report ``degrades_monotonically`` False while the loss guarantee
+  below still holds.
+* **Loss target held** — at every fault rate and every seed, the
+  measured performance loss stays within the strategy's target plus the
+  guard margin.  This is the hard guarantee (see
+  ``tests/test_guard_properties.py``).
+
+The DVFS strategy is generated once on a healthy pipeline (faults attack
+the runtime, not the offline search), then re-executed under seeded
+injectors.  Trials use *common random numbers* across rates: trial ``t``
+draws from the same named stream at every fault rate, so each fault
+decision compares the same uniform draw against a growing threshold and
+the injected fault sets are (approximately) nested — the comparison
+across rates measures the rate effect, not sampling luck.  The whole
+sweep replays bit-identically from the root seed.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import EnergyOptimizer, OptimizerConfig
+from repro.dvfs import GaConfig
+from repro.dvfs.guard import GuardedDvfsExecutor
+from repro.experiments.base import ExperimentResult, percent
+from repro.npu.faults import FaultConfig, FaultInjector
+from repro.workloads import generate
+
+#: Fault rates swept (per-decision probabilities, uniform across classes).
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+#: Mean-savings increase tolerated between adjacent rates before the
+#: degradation no longer counts as monotone (trial noise allowance).
+MONOTONE_SLACK = 0.01
+
+
+def run(
+    scale: float = 0.05,
+    seed: int = 0,
+    iterations: int = 120,
+    population: int = 60,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    trials: int = 3,
+) -> ExperimentResult:
+    """Sweep fault rates against the guarded runtime's safety envelope."""
+    config = OptimizerConfig(
+        performance_loss_target=0.02,
+        ga=GaConfig(
+            population_size=population,
+            iterations=iterations,
+            seed=seed,
+            patience=60,
+        ),
+        seed=seed,
+    )
+    optimizer = EnergyOptimizer(config)
+    trace = generate("bert", scale=scale, seed=seed)
+    healthy = optimizer.optimize(trace)
+    strategy = healthy.strategy
+    loss_limit = (
+        config.performance_loss_target + config.guard.loss_margin
+    )
+
+    rows = []
+    mean_savings: list[float] = []
+    max_losses: list[float] = []
+    for rate in rates:
+        savings: list[float] = []
+        losses: list[float] = []
+        incidents = 0
+        reverts = 0
+        for trial in range(trials):
+            # Common random numbers: the stream depends on the trial
+            # only, so rates reuse the same draws (nested fault sets).
+            injector = FaultInjector.from_seed(
+                FaultConfig.uniform(rate),
+                seed,
+                stream=f"faults-trial{trial}",
+            )
+            guarded = GuardedDvfsExecutor(
+                optimizer.executor, config=config.guard, injector=injector
+            )
+            outcome = guarded.execute_with_baseline(trace, strategy)
+            savings.append(outcome.aicore_power_reduction)
+            losses.append(outcome.performance_loss)
+            incidents += len(outcome.incidents)
+            reverts += int(outcome.fell_back)
+        mean_savings.append(statistics.mean(savings))
+        max_losses.append(max(losses))
+        rows.append(
+            {
+                "fault_rate": rate,
+                "mean_aicore_reduction": percent(statistics.mean(savings)),
+                "max_perf_loss": percent(max(losses)),
+                "incidents": incidents,
+                "reverted_trials": f"{reverts}/{trials}",
+            }
+        )
+
+    degrades_monotonically = all(
+        later <= earlier + MONOTONE_SLACK
+        for earlier, later in zip(mean_savings, mean_savings[1:])
+    )
+    return ExperimentResult(
+        experiment_id="ext_fault_tolerance",
+        title="Guarded runtime under injected control-plane faults",
+        paper_reference={
+            "context": "the paper assumes a perfect SetFreq/telemetry "
+            "plane; this study states and enforces the safety envelope "
+            "when that assumption breaks",
+        },
+        measured={
+            "healthy_aicore_reduction": healthy.aicore_power_reduction,
+            "rates": list(rates),
+            "mean_savings_by_rate": mean_savings,
+            "max_loss_by_rate": max_losses,
+            "degrades_monotonically": degrades_monotonically,
+            "loss_target_never_violated": all(
+                loss <= loss_limit for loss in max_losses
+            ),
+            "loss_limit": loss_limit,
+        },
+        rows=rows,
+        notes="Savings fall toward zero as faults intensify (reverted "
+        "trials measure the baseline), while the measured loss never "
+        "exceeds target + guard margin at any injected rate.",
+    )

@@ -16,6 +16,15 @@ from repro.npu.device import (
     PowerChunk,
 )
 from repro.npu.execution import GroundTruthEvaluator, OperatorEvaluation
+from repro.npu.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultyCannStyleProfiler,
+    FaultyFrequencyPlan,
+    FaultyPowerTelemetry,
+    InjectedFault,
+    SetFreqFault,
+)
 from repro.npu.frequency import FrequencyGrid
 from repro.npu.memory import MemoryHierarchy
 from repro.npu.pipelines import ALL_PIPES, CORE_PIPES, UNCORE_PIPES, Pipe
@@ -79,12 +88,18 @@ __all__ = [
     "CORE_PIPES",
     "CannStyleProfiler",
     "ExecutionResult",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyCannStyleProfiler",
+    "FaultyFrequencyPlan",
+    "FaultyPowerTelemetry",
     "Finding",
     "FrequencyGrid",
     "FrequencySwitch",
     "FrequencyTimeline",
     "GroundTruthEvaluator",
     "IDLE_INDEX",
+    "InjectedFault",
     "MemoryHierarchy",
     "NoiseSpec",
     "NpuDevice",
@@ -104,6 +119,7 @@ __all__ = [
     "Scenario",
     "Segment",
     "SetFreqCommand",
+    "SetFreqFault",
     "Severity",
     "SetFreqSpec",
     "ThermalSpec",

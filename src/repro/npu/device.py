@@ -141,15 +141,21 @@ class NpuDevice:
 
         Args:
             trace: the operator sequence to play.
-            timeline: a wall-clock :class:`FrequencyTimeline` or an
-                operator-anchored :class:`AnchoredFrequencyPlan`; defaults
-                to constant maximum frequency (the performance baseline).
+            timeline: a wall-clock :class:`FrequencyTimeline`, an
+                operator-anchored :class:`AnchoredFrequencyPlan`, or any
+                object with the same ``on_op_start`` / ``frequency_at`` /
+                ``next_switch_after`` protocol (the fault-injecting and
+                guarded plans of :mod:`repro.npu.faults` and
+                :mod:`repro.dvfs.guard`); defaults to constant maximum
+                frequency (the performance baseline).
             initial_celsius: starting chip temperature; defaults to ambient.
         """
         if timeline is None:
             timeline = FrequencyTimeline.constant(self._npu.max_frequency_mhz)
-        if isinstance(timeline, AnchoredFrequencyPlan):
-            timeline.reset()
+        # Stateful plans expose reset(); wall-clock timelines do not.
+        reset = getattr(timeline, "reset", None)
+        if callable(reset):
+            reset()
         thermal = ThermalState(self._npu.thermal, initial_celsius)
         start_celsius = thermal.celsius
         clock_us = 0.0

@@ -17,6 +17,12 @@ from repro.errors import StrategyError
 from repro.npu.frequency import FrequencyGrid
 from repro.npu.spec import SetFreqSpec
 
+#: Switches whose effect times differ by no more than this are treated as
+#: simultaneous.  Effect times are computed with ``dispatch + latency``
+#: arithmetic, so two switches intended for the same instant can differ by
+#: a few float ulps; exact equality would let both survive collapsing.
+SAME_TIME_TOLERANCE_US = 1e-9
+
 
 @dataclass(frozen=True)
 class SetFreqCommand:
@@ -57,10 +63,15 @@ class FrequencyTimeline:
     ) -> None:
         self._initial = float(initial_mhz)
         ordered = sorted(switches, key=lambda s: s.time_us)
-        # Collapse switches that share an effect time: the last one wins.
+        # Collapse switches that share an effect time (within a float-ulp
+        # tolerance — see SAME_TIME_TOLERANCE_US): the last one wins.
         collapsed: list[FrequencySwitch] = []
         for switch in ordered:
-            if collapsed and collapsed[-1].time_us == switch.time_us:
+            if (
+                collapsed
+                and switch.time_us - collapsed[-1].time_us
+                <= SAME_TIME_TOLERANCE_US
+            ):
                 collapsed[-1] = switch
             else:
                 collapsed.append(switch)
@@ -235,14 +246,43 @@ class AnchoredFrequencyPlan:
         freq = self._anchors.get(op_index)
         if freq is None:
             return
-        if self._extra_delay > 0 and self._pending:
-            if self._queued is not None:
-                self._dropped_switches += 1
-            self._queued = freq
+        self.request(freq, time_us)
+
+    def request(self, freq_mhz: float, time_us: float) -> None:
+        """Dispatch one frequency-change request to the controller.
+
+        This is the raw controller interface ``on_op_start`` routes
+        through; the guarded runtime also calls it directly to re-issue
+        failed changes, and the fault layer overrides it to inject
+        command failures.
+        """
+        if self._controller_busy(time_us):
+            self._enqueue(freq_mhz)
             return
-        effect_us = time_us + self._extra_delay
-        self._pending.append(FrequencySwitch(time_us=effect_us, freq_mhz=freq))
+        self._schedule(freq_mhz, time_us + self._extra_delay)
+
+    def _controller_busy(self, time_us: float) -> bool:
+        """Whether a new request must wait in the depth-one queue."""
+        return self._extra_delay > 0 and bool(self._pending)
+
+    def _enqueue(self, freq_mhz: float) -> None:
+        """Hold a request in the depth-one queue (superseding any held)."""
+        if self._queued is not None:
+            self._dropped_switches += 1
+        self._queued = freq_mhz
+
+    def _schedule(self, freq_mhz: float, effect_us: float) -> None:
+        """Commit a switch to take effect at ``effect_us``."""
+        self._pending.append(
+            FrequencySwitch(time_us=effect_us, freq_mhz=freq_mhz)
+        )
         self._pending.sort(key=lambda s: s.time_us)
+
+    def _release_queued(self, completed_us: float) -> None:
+        """Issue the held request once the controller frees up."""
+        if self._queued is not None:
+            self._schedule(self._queued, completed_us + self._extra_delay)
+            self._queued = None
 
     def frequency_at(self, time_us: float) -> float:
         """Frequency in effect at ``time_us`` (consumes due switches)."""
@@ -250,15 +290,8 @@ class AnchoredFrequencyPlan:
             completed = self._pending.pop(0)
             self._current = completed.freq_mhz
             self._applied_switches += 1
-            if self._queued is not None:
-                # The controller is free again: issue the held request.
-                self._pending.append(
-                    FrequencySwitch(
-                        time_us=completed.time_us + self._extra_delay,
-                        freq_mhz=self._queued,
-                    )
-                )
-                self._queued = None
+            # The controller is free again: issue any held request.
+            self._release_queued(completed.time_us)
         return self._current
 
     def next_switch_after(self, time_us: float) -> FrequencySwitch | None:

@@ -29,6 +29,7 @@ from repro.perf.model import (
     OperatorPerformanceModel,
     WorkloadPerformanceModel,
     build_performance_model,
+    patch_missing_operators,
 )
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "fit_performance",
     "ideal_cycle_pwl",
     "ideal_transfer_pwl",
+    "patch_missing_operators",
     "select_fit_frequencies",
     "validate_performance_model",
 ]

@@ -98,6 +98,7 @@ def build_performance_model(
     reports: Sequence[ProfileReport],
     function: FitFunction = FitFunction.QUADRATIC_NO_LINEAR,
     fit_freqs_mhz: Sequence[float] | None = None,
+    allow_missing: bool = False,
 ) -> WorkloadPerformanceModel:
     """Fit per-operator models from profiler reports at several frequencies.
 
@@ -107,9 +108,15 @@ def build_performance_model(
         fit_freqs_mhz: which of the profiled frequencies to fit on;
             defaults to the paper's protocol (extremes, plus the middle for
             three-parameter functions).
+        allow_missing: tolerate operators absent from some reports (a
+            faulty profiler drops records — see :mod:`repro.npu.faults`).
+            Names are unioned across all reports; an operator profiled at
+            too few frequencies for ``function`` degrades to a constant
+            predictor instead of aborting the model.
 
     Raises:
-        ProfilingError: if the reports are inconsistent.
+        ProfilingError: if the reports are inconsistent, or (unless
+            ``allow_missing``) an operator is missing from some reports.
         FittingError: if too few frequencies are available.
     """
     ordered = merge_reports(reports)
@@ -125,15 +132,26 @@ def build_performance_model(
                 f"(available: {available})"
             )
     by_freq = {r.freq_label_mhz: r.durations_by_name() for r in ordered}
-    reference = ordered[0].first_by_name()
+    if allow_missing:
+        reference: dict[str, object] = {}
+        for report in ordered:
+            for name, op in report.first_by_name().items():
+                reference.setdefault(name, op)
+    else:
+        reference = ordered[0].first_by_name()
 
     operators: dict[str, OperatorPerformanceModel] = {}
     for name, profiled in reference.items():
         durations = [by_freq[f].get(name) for f in chosen]
         if any(d is None for d in durations):
-            raise ProfilingError(
-                f"operator {name!r} missing from some frequency reports"
+            if not allow_missing:
+                raise ProfilingError(
+                    f"operator {name!r} missing from some frequency reports"
+                )
+            operators[name] = _degraded_model(
+                name, profiled, chosen, by_freq, function
             )
+            continue
         mean_duration = float(np.mean([d for d in durations if d is not None]))
         if profiled.kind is OperatorKind.COMPUTE:
             try:
@@ -157,4 +175,67 @@ def build_performance_model(
         function=function,
         fit_freqs_mhz=tuple(chosen),
         operators=operators,
+    )
+
+
+def _degraded_model(
+    name: str,
+    profiled,
+    chosen: Sequence[float],
+    by_freq: Mapping[float, Mapping[str, float]],
+    function: FitFunction,
+) -> OperatorPerformanceModel:
+    """Best-effort predictor for an operator missing from some reports."""
+    freqs = [f for f in chosen if by_freq[f].get(name) is not None]
+    if not freqs:
+        # Seen only at non-fit frequencies: use whatever was measured.
+        freqs = sorted(f for f, table in by_freq.items() if name in table)
+    durations = [by_freq[f][name] for f in freqs]
+    fit = None
+    if (
+        profiled.kind is OperatorKind.COMPUTE
+        and len(freqs) >= function.required_points
+    ):
+        try:
+            fit = fit_performance(freqs, durations, function)
+        except FittingError:
+            fit = None
+    return OperatorPerformanceModel(
+        name=name,
+        op_type=profiled.op_type,
+        kind=profiled.kind,
+        fit=fit,
+        constant_us=float(np.mean(durations)),
+    )
+
+
+def patch_missing_operators(
+    model: WorkloadPerformanceModel, report: ProfileReport
+) -> WorkloadPerformanceModel:
+    """Fill operators absent from ``model`` with constant predictors.
+
+    Under profiler faults an operator can vanish from every fit report
+    yet still appear in the baseline trace the strategy search stages
+    over.  Patch such names with their baseline measured duration
+    (frequency-insensitive), so scoring never hits an unknown operator.
+    """
+    durations = report.durations_by_name()
+    patched: dict[str, OperatorPerformanceModel] = {}
+    for name, profiled in report.first_by_name().items():
+        if name in model.operators:
+            continue
+        patched[name] = OperatorPerformanceModel(
+            name=name,
+            op_type=profiled.op_type,
+            kind=profiled.kind,
+            fit=None,
+            constant_us=durations[name],
+        )
+    if not patched:
+        return model
+    return WorkloadPerformanceModel(
+        trace_name=model.trace_name,
+        function=model.function,
+        fit_freqs_mhz=model.fit_freqs_mhz,
+        operators={**dict(model.operators), **patched},
     )

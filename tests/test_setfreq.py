@@ -141,3 +141,128 @@ class TestAnchoredFrequencyPlan:
     def test_negative_index_rejected(self):
         with pytest.raises(StrategyError):
             AnchoredSwitch(op_index=-1, freq_mhz=1000.0)
+
+
+class TestSameTimeTolerance:
+    """Regression: collapse must tolerate float-ulp effect-time noise."""
+
+    def test_ulp_apart_switches_collapse(self):
+        # Effect times computed via dispatch + latency arithmetic can
+        # differ by a few ulps for the same intended instant; exact
+        # equality used to let both switches survive.
+        timeline = FrequencyTimeline(
+            1800.0,
+            (
+                FrequencySwitch(300.0, 1200.0),
+                FrequencySwitch(300.0 + 1e-10, 1500.0),
+            ),
+        )
+        assert timeline.switch_count == 1
+        assert timeline.frequency_at(300.0 + 1e-10) == 1500.0
+
+    def test_float_arithmetic_same_instant_collapses(self):
+        # 0.1 + 0.2 != 0.3 in binary floating point; both commands
+        # target the same instant and the later dispatch must win.
+        spec = SetFreqSpec(latency_us=1000.0)
+        commands = [
+            SetFreqCommand(0.3, 1200.0),
+            SetFreqCommand(0.1 + 0.2, 1500.0),
+        ]
+        assert commands[0].dispatch_time_us != commands[1].dispatch_time_us
+        timeline = FrequencyTimeline.from_commands(1800.0, commands, spec)
+        assert timeline.switch_count == 1
+        assert timeline.frequency_at(1000.31) == 1500.0
+
+    def test_distinct_times_do_not_collapse(self):
+        timeline = FrequencyTimeline(
+            1800.0,
+            (
+                FrequencySwitch(300.0, 1200.0),
+                FrequencySwitch(300.001, 1500.0),
+            ),
+        )
+        assert timeline.switch_count == 2
+
+
+class TestBusyControllerQueue:
+    """Depth-one queue semantics of the busy frequency controller."""
+
+    def _plan(self, extra_delay_us=1000.0):
+        return AnchoredFrequencyPlan(
+            1800.0,
+            [
+                AnchoredSwitch(0, 1000.0),
+                AnchoredSwitch(1, 1200.0),
+                AnchoredSwitch(2, 1500.0),
+            ],
+            extra_delay_us=extra_delay_us,
+        )
+
+    def test_queued_request_released_after_completion(self):
+        plan = self._plan()
+        plan.on_op_start(0, 0.0)  # in flight until t=1000
+        plan.on_op_start(1, 100.0)  # controller busy -> queued
+        assert plan.frequency_at(999.0) == 1800.0
+        # First change lands at 1000; queued 1200 re-issues and lands one
+        # controller latency after the completion.
+        assert plan.frequency_at(1000.0) == 1000.0
+        nxt = plan.next_switch_after(1000.0)
+        assert nxt is not None and nxt.time_us == pytest.approx(2000.0)
+        assert plan.frequency_at(2000.0) == 1200.0
+        assert plan.applied_switch_count == 2
+        assert plan.dropped_switch_count == 0
+
+    def test_newer_request_supersedes_queued(self):
+        plan = self._plan()
+        plan.on_op_start(0, 0.0)
+        plan.on_op_start(1, 100.0)  # queued
+        plan.on_op_start(2, 200.0)  # supersedes the held 1200 MHz
+        assert plan.dropped_switch_count == 1
+        assert plan.frequency_at(1000.0) == 1000.0
+        # The superseded 1200 MHz never takes effect; the chip converges
+        # to the latest requested frequency.
+        assert plan.frequency_at(2000.0) == 1500.0
+        assert plan.applied_switch_count == 2
+
+    def test_back_to_back_faster_than_controller(self):
+        # Three changes within one controller latency: only the first
+        # and the last survive (Fig. 18's erosion of short LFC windows).
+        plan = self._plan(extra_delay_us=5000.0)
+        plan.on_op_start(0, 0.0)
+        plan.on_op_start(1, 10.0)
+        plan.on_op_start(2, 20.0)
+        assert plan.frequency_at(4999.0) == 1800.0
+        assert plan.frequency_at(5000.0) == 1000.0
+        assert plan.frequency_at(10_000.0) == 1500.0
+        assert plan.dropped_switch_count == 1
+
+    def test_zero_extra_delay_never_queues(self):
+        # The documented-latency case (Fig. 14): anchoring pre-dispatches
+        # SetFreq, so every change lands exactly at its anchor start.
+        plan = self._plan(extra_delay_us=0.0)
+        plan.on_op_start(0, 0.0)
+        assert plan.frequency_at(0.0) == 1000.0
+        plan.on_op_start(1, 1.0)
+        assert plan.frequency_at(1.0) == 1200.0
+        plan.on_op_start(2, 2.0)
+        assert plan.frequency_at(2.0) == 1500.0
+        assert plan.dropped_switch_count == 0
+        assert plan.applied_switch_count == 3
+
+    def test_controller_frees_after_idle_gap(self):
+        # Once a change completes and no request is held, the controller
+        # accepts the next request without queueing.
+        plan = self._plan()
+        plan.on_op_start(0, 0.0)
+        assert plan.frequency_at(1500.0) == 1000.0  # completed at 1000
+        plan.on_op_start(1, 1500.0)  # controller free again
+        assert plan.frequency_at(2500.0) == 1200.0
+        assert plan.dropped_switch_count == 0
+
+    def test_request_is_the_raw_interface(self):
+        # The guard re-issues failed changes through request(); it must
+        # behave exactly like an anchored dispatch.
+        plan = AnchoredFrequencyPlan(1800.0, [], extra_delay_us=1000.0)
+        plan.request(1200.0, 50.0)
+        assert plan.frequency_at(1049.0) == 1800.0
+        assert plan.frequency_at(1050.0) == 1200.0
