@@ -1,0 +1,31 @@
+"""Benchmark: fleet-scale strategy serving vs per-request optimization.
+
+The acceptance bar for the serving layer: at a 90%-repeat request
+stream, the store-backed service beats naive per-request optimization by
+>= 10x across a fleet session (cold + warm restart), while remaining
+byte-identical to the serial baseline; the warm restart serves entirely
+from the persisted store with zero GA runs.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_fleet(run_once):
+    result = run_once(
+        run_experiment, "ext_fleet", scale=0.02,
+        iterations=40, population=30,
+    )
+    measured = result.measured
+    assert measured["repeat_ratio"] == 0.9
+    # Amortization: >= 10x over naive per-request optimization.
+    assert measured["speedup"] >= 10.0
+    # Determinism: pool/cache/coalesced paths all byte-identical to the
+    # per-request serial baseline.
+    assert measured["identical_to_serial"]
+    # One GA run per distinct workload, never more.
+    assert measured["cold_ga_runs"] == measured["distinct_workloads"]
+    # Restart survival: the warm service finds every fingerprint in the
+    # persisted store — >= 90% hits required, zero GA runs for repeats.
+    assert measured["warm_hit_rate"] >= 0.9
+    assert measured["warm_ga_runs"] == 0
+    assert measured["warm_disk_hits"] == measured["distinct_workloads"]

@@ -12,6 +12,7 @@ from repro.core.report import (
     MeasuredMetrics,
     OptimizationReport,
     format_table,
+    render_service_stats,
     render_strategy_timeline,
 )
 
@@ -24,6 +25,7 @@ __all__ = [
     "ProfilingBundle",
     "SweepResult",
     "format_table",
+    "render_service_stats",
     "render_strategy_timeline",
     "sweep_loss_targets",
 ]

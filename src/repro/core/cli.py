@@ -32,6 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Operator-level DVFS energy optimization on the simulated NPU "
             "(the paper's Fig. 1 pipeline)."
         ),
+        epilog=(
+            "For fleet-scale serving — a persistent strategy store, "
+            "request deduplication and a parallel optimizer pool — use "
+            "`python -m repro.serve` (repro-serve)."
+        ),
     )
     parser.add_argument(
         "workload",

@@ -155,6 +155,16 @@ def render_strategy_timeline(strategy, width: int = 72) -> str:
     return header + "\n|" + "".join(columns) + "|"
 
 
+def render_service_stats(stats, title: str = "strategy service") -> str:
+    """Render a :class:`repro.serve.service.ServiceStats` counter block.
+
+    Accepts anything exposing ``rows()`` (``ServiceStats``,
+    ``StoreCounters``), so store- and service-level counters share one
+    presentation path.
+    """
+    return f"[{title}]\n{format_table(stats.rows())}"
+
+
 def format_table(rows: list[dict[str, float | str]]) -> str:
     """Render dict rows as an aligned text table (for CLI output)."""
     if not rows:

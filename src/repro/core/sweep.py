@@ -9,6 +9,7 @@ production flow has (profile once, regenerate policies cheaply).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,11 +36,20 @@ class SweepResult:
     def report_for(self, target: float) -> OptimizationReport:
         """The report for one swept target.
 
+        Targets are matched with a tight relative tolerance rather than
+        exact float equality, so a value that arrives through arithmetic
+        (``0.1 + 0.2 - 0.2``) still finds its report.
+
         Raises:
             ConfigurationError: if the target was not part of the sweep.
         """
         for report in self.reports:
-            if report.performance_loss_target == target:
+            if math.isclose(
+                report.performance_loss_target,
+                target,
+                rel_tol=1e-9,
+                abs_tol=1e-12,
+            ):
                 return report
         raise ConfigurationError(f"target {target} was not swept")
 

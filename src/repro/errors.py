@@ -72,3 +72,12 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown id or bad config."""
+
+
+class ServeError(ReproError):
+    """The strategy service or store was misused, or a record is invalid.
+
+    Store-internal validation failures (schema drift, hash mismatch,
+    corruption) surface as invalidated records — callers only see this
+    exception for genuine misuse (bad fingerprints, bad capacities).
+    """

@@ -74,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
 #: Experiments that accept GA-size keyword arguments.
 _GA_EXPERIMENTS = {
     "ext_fault_tolerance",
+    "ext_fleet",
     "ext_granularity",
     "ext_robustness",
     "ext_whole_program",

@@ -7,6 +7,7 @@ from typing import Callable
 from repro.errors import ExperimentError
 from repro.experiments import (
     ext_fault_tolerance,
+    ext_fleet,
     ext_granularity,
     ext_robustness,
     ext_uncore_dvfs,
@@ -29,6 +30,7 @@ from repro.experiments.base import ExperimentResult
 
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "ext_fault_tolerance": ext_fault_tolerance.run,
+    "ext_fleet": ext_fleet.run,
     "ext_granularity": ext_granularity.run,
     "ext_robustness": ext_robustness.run,
     "ext_uncore": ext_uncore_dvfs.run,

@@ -1,0 +1,52 @@
+"""Fleet-scale DVFS strategy serving (the Sect. 8.1 amortization argument).
+
+The paper's strategy generator is offline and single-workload: one trace
+in, one GA run, one strategy out.  A production fleet submits many —
+often identical — workloads concurrently, so re-running calibration,
+fitting and a full GA per request is the wrong cost model.  This package
+turns :class:`~repro.core.optimizer.EnergyOptimizer` into a service that
+amortizes the model/search cost across repeated queries:
+
+* :mod:`repro.serve.fingerprint` — stable content hashes of a trace and
+  the strategy-relevant optimizer configuration, so identical requests
+  coalesce.
+* :mod:`repro.serve.store` — a content-addressed, schema-versioned
+  on-disk strategy store with an in-process LRU layer; survives process
+  restarts and invalidates records whose config/spec hash changed.
+* :mod:`repro.serve.pool` — a process-pool optimizer with per-job
+  deterministically derived RNG seeds: a batch of N distinct workloads
+  optimizes in parallel yet byte-identically to serial runs.
+* :mod:`repro.serve.service` — the :class:`StrategyService` front door:
+  deduplicates in-flight requests, serves cache hits in microseconds,
+  and reports hit/miss/latency counters through :mod:`repro.core.report`.
+
+Warm a store from the shell with ``python -m repro.serve``.
+"""
+
+from repro.serve.fingerprint import (
+    combine_fingerprints,
+    config_fingerprint,
+    request_fingerprint,
+    spec_fingerprint,
+    trace_fingerprint,
+)
+from repro.serve.pool import OptimizerPool, PoolResult, derive_job_seed
+from repro.serve.service import ServeResult, ServiceStats, StrategyService
+from repro.serve.store import STORE_SCHEMA_VERSION, StoreHit, StrategyStore
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "OptimizerPool",
+    "PoolResult",
+    "ServeResult",
+    "ServiceStats",
+    "StoreHit",
+    "StrategyService",
+    "StrategyStore",
+    "combine_fingerprints",
+    "config_fingerprint",
+    "derive_job_seed",
+    "request_fingerprint",
+    "spec_fingerprint",
+    "trace_fingerprint",
+]

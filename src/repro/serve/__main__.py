@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — warm the strategy store, print stats."""
+
+import sys
+
+from repro.serve.cli import main
+
+sys.exit(main())

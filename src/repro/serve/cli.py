@@ -1,0 +1,130 @@
+"""Command-line entry point: ``repro-serve`` / ``python -m repro.serve``.
+
+Warms the persistent strategy store for named workloads and reports the
+service's hit/miss counters — run it twice against the same store
+directory to watch the second run serve everything from disk::
+
+    python -m repro.serve gpt3 bert --store /tmp/strategies --scale 0.05
+    python -m repro.serve gpt3 bert --store /tmp/strategies --scale 0.05
+
+``--repeats`` additionally replays the request stream N times within
+one process, demonstrating in-memory hit latencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core import OptimizerConfig, render_service_stats
+from repro.dvfs import GaConfig
+from repro.errors import ReproError
+from repro.serve.service import StrategyService
+from repro.serve.store import StrategyStore
+from repro.workloads import generate, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Warm the persistent DVFS strategy store for named workloads "
+            "and print the service's hit/miss statistics."
+        ),
+    )
+    parser.add_argument(
+        "workloads",
+        nargs="*",
+        default=["gpt3", "bert"],
+        help=f"workload names (default: gpt3 bert; known: "
+        f"{', '.join(workload_names())})",
+    )
+    parser.add_argument(
+        "--store",
+        default=".repro-strategy-store",
+        help="strategy store directory (default .repro-strategy-store)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05, help="workload scale"
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=0.02,
+        help="performance-loss target (default 0.02)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="optimizer-pool processes (0 = serial, the default)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="serve the request stream this many times (default 1)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=60, help="GA population size"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=120, help="GA iterations"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    config = OptimizerConfig(
+        performance_loss_target=args.target,
+        ga=GaConfig(
+            population_size=args.population,
+            iterations=args.iterations,
+            seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+    store = StrategyStore(Path(args.store))
+    try:
+        traces = [
+            generate(name, scale=args.scale, seed=args.seed)
+            for name in args.workloads
+        ]
+        with StrategyService(
+            config=config, store=store, workers=args.workers
+        ) as service:
+            print(
+                f"Warming {args.store} with {len(traces)} workload(s) x "
+                f"{args.repeats} repeat(s)..."
+            )
+            for round_index in range(args.repeats):
+                for result in service.serve_batch(traces):
+                    print(
+                        f"  [{round_index + 1}/{args.repeats}] "
+                        f"{result.strategy.workload:<18} "
+                        f"{result.source:<9} "
+                        f"{result.latency_seconds * 1e3:9.3f} ms  "
+                        f"{result.fingerprint[:12]}"
+                    )
+            print()
+            print(render_service_stats(service.stats))
+            print()
+            print(render_service_stats(store.counters, title="strategy store"))
+            print(f"\nstore now holds {len(store)} strategy record(s)")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""Content-addressed, versioned, persistent storage for DVFS strategies.
+
+One record per request fingerprint, stored as a JSON envelope around the
+:meth:`~repro.dvfs.strategy.DvfsStrategy.to_json` payload::
+
+    <root>/<fp[:2]>/<fp>.json
+
+The envelope is schema-versioned and carries the config and hardware
+fingerprints the strategy was generated under; a record whose schema
+version or hashes no longer match is *invalidated* (deleted) on lookup
+rather than served stale.  Writes are atomic (temp file + rename), so a
+crashed or concurrent writer can never leave a half-record that a later
+reader trusts.
+
+An in-process LRU layer sits in front of the disk so the hot fingerprints
+of a serving loop hit in microseconds without re-parsing JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.dvfs.strategy import DvfsStrategy
+from repro.errors import ServeError, StrategyError
+
+#: Bump on incompatible envelope changes; mismatching records are
+#: invalidated on lookup, never migrated silently.
+STORE_SCHEMA_VERSION = 1
+
+_FINGERPRINT_HEX_LENGTH = 64
+
+
+@dataclass(frozen=True)
+class StoreHit:
+    """One successful lookup, with the layer that served it."""
+
+    fingerprint: str
+    strategy: DvfsStrategy
+    #: ``"memory"`` (LRU layer) or ``"disk"``.
+    tier: str
+
+
+@dataclass
+class StoreCounters:
+    """Lookup/write counters for one store instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    puts: int = 0
+
+    def rows(self) -> list[dict[str, int | str]]:
+        """One table row per counter (for :func:`repro.core.report.format_table`)."""
+        return [
+            {"counter": "memory_hits", "count": self.memory_hits},
+            {"counter": "disk_hits", "count": self.disk_hits},
+            {"counter": "misses", "count": self.misses},
+            {"counter": "invalidations", "count": self.invalidations},
+            {"counter": "puts", "count": self.puts},
+        ]
+
+
+def encode_record(
+    fingerprint: str,
+    strategy: DvfsStrategy,
+    config_hash: str,
+    spec_hash: str,
+) -> dict[str, Any]:
+    """The on-disk envelope for one strategy record."""
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "config_hash": config_hash,
+        "spec_hash": spec_hash,
+        "workload": strategy.workload,
+        "strategy": json.loads(strategy.to_json()),
+    }
+
+
+def decode_record(
+    payload: dict[str, Any],
+    fingerprint: str,
+    config_hash: str | None = None,
+    spec_hash: str | None = None,
+) -> DvfsStrategy:
+    """Validate an envelope and extract its strategy.
+
+    Raises:
+        ServeError: on schema-version, fingerprint, or hash mismatch, or
+            a structurally malformed envelope — all of which the store
+            treats as an invalidated record.
+    """
+    if not isinstance(payload, dict):
+        raise ServeError("store record is not a JSON object")
+    version = payload.get("schema_version")
+    if version != STORE_SCHEMA_VERSION:
+        raise ServeError(
+            f"store record schema version {version!r} != "
+            f"{STORE_SCHEMA_VERSION}"
+        )
+    if payload.get("fingerprint") != fingerprint:
+        raise ServeError(
+            f"store record fingerprint {payload.get('fingerprint')!r} does "
+            f"not match its address {fingerprint!r}"
+        )
+    if config_hash is not None and payload.get("config_hash") != config_hash:
+        raise ServeError("store record was generated under a different config")
+    if spec_hash is not None and payload.get("spec_hash") != spec_hash:
+        raise ServeError(
+            "store record was generated for a different hardware spec"
+        )
+    try:
+        return DvfsStrategy.from_json(json.dumps(payload["strategy"]))
+    except (KeyError, TypeError, StrategyError) as exc:
+        raise ServeError(f"store record strategy is malformed: {exc}") from exc
+
+
+def _validate_fingerprint(fingerprint: str) -> str:
+    if (
+        len(fingerprint) != _FINGERPRINT_HEX_LENGTH
+        or not all(c in "0123456789abcdef" for c in fingerprint)
+    ):
+        raise ServeError(
+            f"fingerprint must be a {_FINGERPRINT_HEX_LENGTH}-char lowercase "
+            f"hex digest, got {fingerprint!r}"
+        )
+    return fingerprint
+
+
+@dataclass
+class StrategyStore:
+    """Persistent strategy store with an in-process LRU layer.
+
+    Attributes:
+        root: directory holding the records (created on first write).
+        memory_capacity: LRU entry cap; 0 disables the memory layer.
+    """
+
+    root: Path
+    memory_capacity: int = 256
+    counters: StoreCounters = field(default_factory=StoreCounters)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.memory_capacity < 0:
+            raise ServeError(
+                f"memory_capacity must be >= 0: {self.memory_capacity}"
+            )
+        self._lru: OrderedDict[str, DvfsStrategy] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The record path for one fingerprint (two-level fan-out)."""
+        _validate_fingerprint(fingerprint)
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def lookup(
+        self,
+        fingerprint: str,
+        config_hash: str | None = None,
+        spec_hash: str | None = None,
+    ) -> StoreHit | None:
+        """Fetch one record, memory layer first, validating the envelope.
+
+        A record that fails validation (old schema version, hash drift,
+        corruption) is deleted and counted as an invalidation + miss.
+        """
+        with self._lock:
+            cached = self._lru.get(fingerprint)
+            if cached is not None:
+                self._lru.move_to_end(fingerprint)
+                self.counters.memory_hits += 1
+                return StoreHit(fingerprint, cached, tier="memory")
+        path = self.path_for(fingerprint)
+        try:
+            document = path.read_text(encoding="utf-8")
+            payload = json.loads(document)
+            strategy = decode_record(
+                payload, fingerprint, config_hash, spec_hash
+            )
+        except FileNotFoundError:
+            with self._lock:
+                self.counters.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, ServeError):
+            path.unlink(missing_ok=True)
+            with self._lock:
+                self.counters.invalidations += 1
+                self.counters.misses += 1
+            return None
+        with self._lock:
+            self.counters.disk_hits += 1
+            self._remember(fingerprint, strategy)
+        return StoreHit(fingerprint, strategy, tier="disk")
+
+    def get(
+        self,
+        fingerprint: str,
+        config_hash: str | None = None,
+        spec_hash: str | None = None,
+    ) -> DvfsStrategy | None:
+        """:meth:`lookup` without the tier bookkeeping wrapper."""
+        hit = self.lookup(fingerprint, config_hash, spec_hash)
+        return None if hit is None else hit.strategy
+
+    def put(
+        self,
+        fingerprint: str,
+        strategy: DvfsStrategy,
+        config_hash: str,
+        spec_hash: str,
+    ) -> Path:
+        """Persist one strategy atomically and refresh the memory layer."""
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = encode_record(fingerprint, strategy, config_hash, spec_hash)
+        document = json.dumps(record, indent=2)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{fingerprint[:8]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(document)
+            os.replace(handle.name, path)
+        except OSError:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        with self._lock:
+            self.counters.puts += 1
+            self._remember(fingerprint, strategy)
+        return path
+
+    def _remember(self, fingerprint: str, strategy: DvfsStrategy) -> None:
+        if self.memory_capacity == 0:
+            return
+        self._lru[fingerprint] = strategy
+        self._lru.move_to_end(fingerprint)
+        while len(self._lru) > self.memory_capacity:
+            self._lru.popitem(last=False)
+
+    def fingerprints(self) -> Iterator[str]:
+        """All fingerprints currently persisted on disk."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for record in sorted(shard.glob("*.json")):
+                yield record.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def memory_size(self) -> int:
+        """Entries currently resident in the LRU layer."""
+        with self._lock:
+            return len(self._lru)
+
+    def clear_memory(self) -> None:
+        """Drop the LRU layer (the disk records stay)."""
+        with self._lock:
+            self._lru.clear()
+
+    def clear(self) -> int:
+        """Delete every persisted record; returns the number removed."""
+        removed = 0
+        for fingerprint in list(self.fingerprints()):
+            self.path_for(fingerprint).unlink(missing_ok=True)
+            removed += 1
+        self.clear_memory()
+        return removed

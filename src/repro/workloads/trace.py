@@ -98,6 +98,19 @@ class Trace:
         """Sum of host-side gaps across the iteration."""
         return sum(entry.gap_before_us for entry in self.entries)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the operator sequence.
+
+        Covers every entry's spec (shapes, character, kind), gap and
+        host pacing — but *not* the trace name or description, so the
+        same iteration submitted under different job names fingerprints
+        identically and the strategy service coalesces the requests
+        (see :mod:`repro.serve.fingerprint`).
+        """
+        from repro.serve.fingerprint import trace_fingerprint
+
+        return trace_fingerprint(self)
+
 
 def build_trace(
     name: str,

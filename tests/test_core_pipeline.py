@@ -176,3 +176,17 @@ class TestSweep:
             sweep_loss_targets(trace, (), config=quick_config)
         with pytest.raises(ConfigurationError):
             sweep_loss_targets(trace, (0.10, 0.02), config=quick_config)
+
+    def test_report_for_tolerates_float_arithmetic(self, quick_config):
+        # A target that arrives through arithmetic is not bit-equal to
+        # the swept literal (0.1 + 0.2 - 0.2 != 0.1); report_for must
+        # still find its report via isclose matching.
+        from repro.core import sweep_loss_targets
+
+        trace = generate("gpt3", scale=0.03)
+        sweep = sweep_loss_targets(trace, (0.02, 0.1), config=quick_config)
+        computed = 0.1 + 0.2 - 0.2
+        assert computed != 0.1
+        assert sweep.report_for(computed).performance_loss_target == 0.1
+        with pytest.raises(ConfigurationError):
+            sweep.report_for(0.1001)

@@ -1,0 +1,92 @@
+"""Property tests: DvfsStrategy JSON round-trips and the store envelope.
+
+Hypothesis generates arbitrary well-formed strategies — any number of
+stage plans with grid frequencies, LFC/HFC kinds, optional anchors and
+non-decreasing start times — and asserts that serialisation is lossless:
+the parsed strategy equals the original, and every derived quantity the
+executor consumes (switches, anchored switches, SetFreq count) survives
+the round trip.  The store envelope must preserve the same strategy and
+carry the current schema version.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvfs import DvfsStrategy, StageKind, StagePlan
+from repro.serve.store import (
+    STORE_SCHEMA_VERSION,
+    decode_record,
+    encode_record,
+)
+
+GRID_MHZ = tuple(1000.0 + 100.0 * i for i in range(9))
+
+_plan_parts = st.tuples(
+    st.floats(min_value=1.0, max_value=50_000.0, allow_nan=False),
+    st.sampled_from(GRID_MHZ),
+    st.sampled_from(tuple(StageKind)),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=20_000)),
+)
+
+
+@st.composite
+def strategies_(draw) -> DvfsStrategy:
+    parts = draw(st.lists(_plan_parts, min_size=1, max_size=12))
+    plans = []
+    start_us = 0.0
+    for duration_us, freq_mhz, kind, anchor in parts:
+        plans.append(
+            StagePlan(
+                start_us=start_us,
+                duration_us=duration_us,
+                freq_mhz=freq_mhz,
+                kind=kind,
+                anchor_op_index=anchor,
+            )
+        )
+        start_us += duration_us
+    target = draw(
+        st.floats(min_value=1e-6, max_value=0.5, allow_nan=False)
+    )
+    name = draw(st.text(min_size=1, max_size=24))
+    return DvfsStrategy(
+        workload=name,
+        performance_loss_target=target,
+        plans=tuple(plans),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(strategy=strategies_())
+def test_json_roundtrip_is_lossless(strategy):
+    restored = DvfsStrategy.from_json(strategy.to_json())
+    assert restored == strategy
+
+
+@settings(max_examples=60, deadline=None)
+@given(strategy=strategies_())
+def test_roundtrip_preserves_executor_view(strategy):
+    restored = DvfsStrategy.from_json(strategy.to_json())
+    assert restored.switches() == strategy.switches()
+    assert restored.anchored_switches() == strategy.anchored_switches()
+    assert restored.setfreq_count == strategy.setfreq_count
+    assert restored.initial_freq_mhz == strategy.initial_freq_mhz
+    assert restored.frequency_histogram() == strategy.frequency_histogram()
+
+
+@settings(max_examples=60, deadline=None)
+@given(strategy=strategies_())
+def test_store_envelope_roundtrip(strategy):
+    fingerprint = "ab" * 32
+    record = encode_record(fingerprint, strategy, "cfg-hash", "spec-hash")
+    assert record["schema_version"] == STORE_SCHEMA_VERSION
+    # The envelope must survive a JSON round trip (what the disk does).
+    reloaded = json.loads(json.dumps(record))
+    restored = decode_record(
+        reloaded, fingerprint, "cfg-hash", "spec-hash"
+    )
+    assert restored == strategy
