@@ -1,0 +1,41 @@
+"""Benchmark: slack-reclaiming cluster DVFS on a varied fleet.
+
+The acceptance bar for the cluster layer: on an 8-device fleet with
+seeded variation, slack reclamation measurably cuts fleet SoC energy at
+a step-time regression within 0.5%; the plan is byte-identical across
+worker counts, repeated runs, and the strategy-store round-trip; and
+when a device is fault-injected slow, the stale plan raises a barrier
+overrun naming that device and re-reclamation targets it as the new
+straggler.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_cluster(run_once):
+    result = run_once(
+        run_experiment, "ext_cluster", scale=0.02,
+        iterations=40, population=24,
+    )
+    measured = result.measured
+    # Energy: measurable fleet savings at <= 0.5% step-time regression.
+    assert measured["soc_energy_savings"] > 0.0
+    assert measured["step_time_regression"] <= 0.005
+    # The GA cross-check never loses to uniform max frequency.
+    assert measured["ga_feasible"]
+    assert measured["ga_soc_energy_savings"] >= 0.0
+    assert measured["ga_step_time_regression"] <= 0.005
+    # Determinism: byte-identical plans at any worker count, across
+    # repeated runs, and through the persistent strategy store.
+    assert measured["identical_across_workers"]
+    assert measured["identical_across_runs"]
+    assert measured["identical_through_store"]
+    assert measured["store_warm_hits"] == measured["devices"]
+    # Fault story: the degraded device overruns the stale barrier (the
+    # incident names it), its injector logged the degradation, and
+    # re-reclamation re-targets it as the straggler.
+    assert measured["barrier_overruns"] >= 1
+    assert measured["overrun_names_victim"]
+    assert measured["victim_degradation_logged"]
+    assert measured["retargeted_straggler"] == measured["degraded_device"]
+    assert measured["retargeted_soc_energy_savings"] > 0.0

@@ -17,7 +17,7 @@ Quickstart::
 from repro.core import EnergyOptimizer, OptimizationReport, OptimizerConfig
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EnergyOptimizer",

@@ -1,0 +1,67 @@
+"""Multi-device data-parallel simulation with cluster-aware DVFS.
+
+The paper optimises one NPU at a time; its deployment story (Sect. 8.1)
+is synchronous data-parallel fleets, where per-device DVFS interacts
+with the all-reduce barrier: slowing the critical device stalls every
+peer, while slowing a non-critical device is free.  This package grows
+the simulator from one chip to a cluster:
+
+* :mod:`repro.cluster.spec` — N devices with seeded per-device variation
+  (silicon speed bins, rack thermal gradients) plus explicit overrides
+  (degradation, per-device control-plane faults);
+* :mod:`repro.cluster.collective` — the ring all-reduce cost law;
+* :mod:`repro.cluster.simulator` — synchronous step execution: the step
+  completes at the barrier of the slowest device, and everyone else's
+  wait is priced as idle energy;
+* :mod:`repro.cluster.dvfs` — slack reclamation (downclock non-critical
+  devices to just-in-time arrival) and a fleet ``energy x step-time``
+  objective for the existing GA;
+* :mod:`repro.cluster.serve` — per-device strategy fingerprints and
+  store-backed caching through :mod:`repro.serve`.
+
+Run ``python -m repro.cluster`` for a quick fleet demo.
+"""
+
+from repro.cluster.collective import InterconnectSpec
+from repro.cluster.device import ClusterDevice, VariedEvaluator
+from repro.cluster.dvfs import (
+    ClusterScorer,
+    ClusterStrategy,
+    DeviceFrequencyTable,
+    build_frequency_tables,
+    reclaim_slack,
+    search_cluster_frequencies,
+)
+from repro.cluster.serve import cached_reclaim, device_request_fingerprint
+from repro.cluster.simulator import (
+    ClusterStepResult,
+    DeviceStepOutcome,
+    SimulatedCluster,
+)
+from repro.cluster.spec import (
+    ClusterSpec,
+    DeviceOverride,
+    DeviceProfile,
+    DeviceVariation,
+)
+
+__all__ = [
+    "ClusterDevice",
+    "ClusterScorer",
+    "ClusterSpec",
+    "ClusterStepResult",
+    "ClusterStrategy",
+    "DeviceFrequencyTable",
+    "DeviceOverride",
+    "DeviceProfile",
+    "DeviceStepOutcome",
+    "DeviceVariation",
+    "InterconnectSpec",
+    "SimulatedCluster",
+    "VariedEvaluator",
+    "build_frequency_tables",
+    "cached_reclaim",
+    "device_request_fingerprint",
+    "reclaim_slack",
+    "search_cluster_frequencies",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.cluster`` dispatches to the cluster CLI."""
+
+import sys
+
+from repro.cluster.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

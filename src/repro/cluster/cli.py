@@ -1,0 +1,184 @@
+"""Command-line entry point: ``python -m repro.cluster``.
+
+Simulates one data-parallel training step on an N-device fleet, applies
+slack reclamation (and optionally the fleet GA), and prints the
+per-device table plus the fleet summary.
+
+Examples::
+
+    python -m repro.cluster gpt3 --scale 0.02 --devices 8
+    python -m repro.cluster bert --scale 0.05 --ga --workers 4
+    python -m repro.cluster gpt3 --scale 0.02 --degrade 3 --slowdown 1.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cluster.dvfs import (
+    build_frequency_tables,
+    reclaim_slack,
+    search_cluster_frequencies,
+)
+from repro.cluster.simulator import SimulatedCluster
+from repro.cluster.spec import ClusterSpec
+from repro.core.report import format_table
+from repro.dvfs.ga import GaConfig
+from repro.errors import ReproError
+from repro.workloads import generate, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description=(
+            "Simulate synchronous data-parallel training on a fleet of "
+            "varied NPUs and reclaim barrier slack with per-device DVFS."
+        ),
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default="gpt3",
+        help=f"workload name (one of: {', '.join(workload_names())})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05, help="workload scale"
+    )
+    parser.add_argument(
+        "--devices", type=int, default=8, help="fleet size"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--gradient-mb",
+        type=float,
+        default=64.0,
+        help="all-reduce payload per step, in MiB",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="processes for the table build (0 = inline)",
+    )
+    parser.add_argument(
+        "--ga",
+        action="store_true",
+        help="also run the fleet GA objective after reclamation",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=80, help="GA iterations"
+    )
+    parser.add_argument(
+        "--population", type=int, default=40, help="GA population size"
+    )
+    parser.add_argument(
+        "--degrade",
+        type=int,
+        default=None,
+        metavar="DEVICE",
+        help="degrade one device and show the re-targeted reclamation",
+    )
+    parser.add_argument(
+        "--slowdown",
+        type=float,
+        default=1.3,
+        help="duration multiplier of the degraded device",
+    )
+    return parser
+
+
+def _print_step(title: str, report_text: str) -> None:
+    print(f"== {title} ==")
+    print(report_text)
+    print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        trace = generate(args.workload, scale=args.scale, seed=args.seed)
+        spec = ClusterSpec(
+            n_devices=args.devices,
+            gradient_bytes=args.gradient_mb * 2**20,
+            seed=args.seed,
+        )
+        cluster = SimulatedCluster(spec)
+        baseline = cluster.run_step(trace)
+        tables = build_frequency_tables(cluster, trace, workers=args.workers)
+        plan = reclaim_slack(
+            tables, trace.name, allreduce_us=spec.allreduce_us
+        )
+        reclaimed = cluster.run_step(
+            trace, plan.strategies, target_compute_us=plan.target_compute_us
+        )
+        _print_step(
+            f"slack reclamation ({args.devices} devices)",
+            reclaimed.report(baseline).render(),
+        )
+        if args.ga:
+            ga_plan, ga_result, breakdown = search_cluster_frequencies(
+                tables,
+                trace.name,
+                allreduce_us=spec.allreduce_us,
+                config=GaConfig(
+                    population_size=args.population,
+                    iterations=args.iterations,
+                    seed=args.seed,
+                    patience=30,
+                ),
+            )
+            ga_step = cluster.run_step(
+                trace,
+                ga_plan.strategies,
+                target_compute_us=ga_plan.target_compute_us,
+            )
+            _print_step(
+                f"fleet GA ({ga_result.generations} generations, "
+                f"predicted step {breakdown.step_us / 1000.0:.2f} ms)",
+                ga_step.report(baseline).render(),
+            )
+        if args.degrade is not None:
+            degraded_cluster = SimulatedCluster(
+                spec.with_degraded_device(
+                    args.degrade, args.slowdown, reason="cli --degrade"
+                )
+            )
+            stale = degraded_cluster.run_step(
+                trace,
+                plan.strategies,
+                target_compute_us=plan.target_compute_us,
+            )
+            rows = [i.to_row() for i in stale.incidents]
+            print(f"== stale plan on degraded device {args.degrade} ==")
+            print(format_table(rows) if rows else "(no overruns)")
+            print()
+            degraded_tables = build_frequency_tables(
+                degraded_cluster, trace, workers=args.workers
+            )
+            new_plan = reclaim_slack(
+                degraded_tables, trace.name, allreduce_us=spec.allreduce_us
+            )
+            degraded_baseline = degraded_cluster.run_step(trace)
+            retargeted = degraded_cluster.run_step(
+                trace,
+                new_plan.strategies,
+                target_compute_us=new_plan.target_compute_us,
+            )
+            _print_step(
+                f"re-targeted reclamation (straggler now device "
+                f"{new_plan.straggler_id})",
+                retargeted.report(degraded_baseline).render(),
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

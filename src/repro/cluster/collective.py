@@ -1,0 +1,73 @@
+"""Interconnect and collective-communication model of the cluster.
+
+Data-parallel training synchronises gradients once per step with an
+all-reduce.  The dominant algorithm on ring-connected accelerators is the
+*ring all-reduce* (reduce-scatter followed by all-gather): each of the
+``N`` devices sends its payload around the ring twice in ``2 * (N - 1)``
+pipelined phases, moving ``2 * (N - 1) / N`` of the payload over its
+slowest link.  The standard cost law is therefore
+
+    t = 2 * (N - 1) / N * payload / bandwidth  +  2 * (N - 1) * latency
+
+which this module implements verbatim.  The collective is a *barrier*:
+no device leaves the all-reduce before the slowest device has arrived,
+which is exactly the property the slack-reclamation pass in
+:mod:`repro.cluster.dvfs` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gbps_to_bytes_per_us
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Per-link characteristics of the device interconnect.
+
+    Attributes:
+        link_bandwidth_gbps: sustained point-to-point bandwidth of one
+            ring link, in GB/s (HCCS-class links sustain tens of GB/s).
+        link_latency_us: per-phase software + wire latency of one ring
+            hop, in microseconds.
+    """
+
+    link_bandwidth_gbps: float = 50.0
+    link_latency_us: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"link_bandwidth_gbps must be positive: "
+                f"{self.link_bandwidth_gbps}"
+            )
+        if self.link_latency_us < 0:
+            raise ConfigurationError(
+                f"link_latency_us must be non-negative: {self.link_latency_us}"
+            )
+
+    def allreduce_us(self, payload_bytes: float, n_devices: int) -> float:
+        """Ring all-reduce wall time for one gradient exchange.
+
+        A single device has nothing to exchange; the collective is free.
+
+        Raises:
+            ConfigurationError: on a non-positive device count or a
+                negative payload.
+        """
+        if n_devices < 1:
+            raise ConfigurationError(
+                f"n_devices must be >= 1: {n_devices}"
+            )
+        if payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload_bytes must be non-negative: {payload_bytes}"
+            )
+        if n_devices == 1:
+            return 0.0
+        phases = 2 * (n_devices - 1)
+        transferred = payload_bytes * phases / n_devices
+        bandwidth = gbps_to_bytes_per_us(self.link_bandwidth_gbps)
+        return transferred / bandwidth + phases * self.link_latency_us

@@ -1,0 +1,160 @@
+"""Fingerprinting and store-backed caching of per-device strategies.
+
+A reclaimed cluster plan is just one single-device strategy per device,
+so the existing :class:`repro.serve.store.StrategyStore` persists it
+unchanged — one record per ``(trace, cluster config, device profile)``
+fingerprint.  A fleet that re-submits the same training job (the normal
+case, per the paper's Sect. 8.1 amortization argument) then pays zero
+table builds: every device's plan is a store hit.
+
+Fingerprints follow the serve package's discipline: the trace hash
+excludes the name, the config hash covers every knob the plan depends
+on (cluster topology, interconnect, variation, gradient payload,
+reclamation margin, root seed), and the per-device spec hash covers the
+nominal hardware *plus* the device's realised profile — a degraded or
+re-binned device changes its own fingerprint and nobody else's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.dvfs import (
+    ClusterStrategy,
+    build_frequency_tables,
+    reclaim_slack,
+)
+from repro.cluster.simulator import SimulatedCluster
+from repro.cluster.spec import ClusterSpec, DeviceProfile
+from repro.serve.fingerprint import (
+    combine_fingerprints,
+    payload_fingerprint,
+    spec_fingerprint,
+    trace_fingerprint,
+)
+from repro.serve.store import StrategyStore
+from repro.workloads.trace import Trace
+
+
+def cluster_config_hash(spec: ClusterSpec, slack_margin: float = 0.0) -> str:
+    """Hash of every cluster-level knob a reclaimed plan depends on."""
+    return payload_fingerprint(
+        "cluster_config",
+        {
+            "n_devices": spec.n_devices,
+            "variation": spec.variation,
+            "interconnect": spec.interconnect,
+            "gradient_bytes": spec.gradient_bytes,
+            "seed": spec.seed,
+            "slack_margin": slack_margin,
+        },
+    )
+
+
+def device_spec_hash(spec: ClusterSpec, profile: DeviceProfile) -> str:
+    """Hash of one device's hardware: nominal spec + realised profile."""
+    return payload_fingerprint(
+        "cluster_device",
+        {
+            "npu": spec_fingerprint(spec.npu),
+            "profile": profile,
+        },
+    )
+
+
+def device_request_fingerprint(
+    trace: Trace,
+    spec: ClusterSpec,
+    profile: DeviceProfile,
+    slack_margin: float = 0.0,
+) -> str:
+    """The store key for one device's share of a cluster plan."""
+    return combine_fingerprints(
+        trace_fingerprint(trace),
+        cluster_config_hash(spec, slack_margin),
+        device_spec_hash(spec, profile),
+    )
+
+
+@dataclass(frozen=True)
+class CachedReclaimResult:
+    """A cluster plan plus where its device strategies came from."""
+
+    strategy: ClusterStrategy
+    #: Store hits, per device order (True = served from the store).
+    hits: tuple[bool, ...]
+    #: Whether the frequency tables had to be built this call.
+    computed: bool
+
+    @property
+    def hit_count(self) -> int:
+        """How many device strategies the store served."""
+        return sum(self.hits)
+
+
+def cached_reclaim(
+    cluster: SimulatedCluster,
+    trace: Trace,
+    store: StrategyStore,
+    workers: int = 0,
+    slack_margin: float = 0.0,
+) -> CachedReclaimResult:
+    """Slack reclamation through the persistent strategy store.
+
+    On a full hit the plan is reassembled from the stored per-device
+    strategies without touching the devices; on any miss the frequency
+    tables are built (fanned out over ``workers`` processes), the plan
+    is recomputed, and every device's strategy is persisted.  Both paths
+    produce byte-identical strategies — the stored record *is* the
+    reclamation output.
+    """
+    spec = cluster.spec
+    config_hash = cluster_config_hash(spec, slack_margin)
+    fingerprints: list[str] = []
+    spec_hashes: list[str] = []
+    for profile in cluster.profiles:
+        spec_hashes.append(device_spec_hash(spec, profile))
+        fingerprints.append(
+            device_request_fingerprint(trace, spec, profile, slack_margin)
+        )
+    lookups = [
+        store.lookup(fingerprint, config_hash, spec_hash)
+        for fingerprint, spec_hash in zip(fingerprints, spec_hashes)
+    ]
+    hits = tuple(hit is not None for hit in lookups)
+    if all(hits):
+        strategies = tuple(hit.strategy for hit in lookups)
+        predicted = tuple(
+            strategy.plans[-1].start_us + strategy.plans[-1].duration_us
+            for strategy in strategies
+        )
+        target = max(predicted)
+        return CachedReclaimResult(
+            strategy=ClusterStrategy(
+                workload=trace.name,
+                # The tightest barrier the stored plans were built for:
+                # the straggler's predicted arrival.
+                target_compute_us=target,
+                allreduce_us=spec.allreduce_us,
+                straggler_id=predicted.index(target),
+                frequencies_mhz=tuple(
+                    strategy.plans[-1].freq_mhz for strategy in strategies
+                ),
+                predicted_compute_us=predicted,
+                strategies=strategies,
+            ),
+            hits=hits,
+            computed=False,
+        )
+    tables = build_frequency_tables(cluster, trace, workers=workers)
+    strategy = reclaim_slack(
+        tables,
+        trace.name,
+        allreduce_us=spec.allreduce_us,
+        slack_margin=slack_margin,
+    )
+    for fingerprint, spec_hash, device_strategy in zip(
+        fingerprints, spec_hashes, strategy.strategies
+    ):
+        store.put(fingerprint, device_strategy, config_hash, spec_hash)
+    return CachedReclaimResult(strategy=strategy, hits=hits, computed=True)

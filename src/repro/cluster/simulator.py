@@ -1,0 +1,296 @@
+"""Data-parallel step execution over N varied devices.
+
+Synchronous data parallelism replays the *same* operator trace on every
+device, then exchanges gradients in a ring all-reduce.  The all-reduce
+is a barrier: the step completes at
+
+    step = max_d(compute_d) + allreduce
+
+and every faster device spends ``max_d(compute_d) - compute_d`` waiting,
+idling at whatever frequency its DVFS plan parked it at.  That wait is
+not free — idle power at the barrier is integrated with the same RC
+thermal model as everywhere else — and it is exactly the slack the
+cluster DVFS pass reclaims.
+
+The simulator also acts as the fleet's watchdog: when a step runs under
+a reclaimed plan (``target_compute_us`` provided), any device arriving
+measurably after the plan's target is recorded as a ``barrier_overrun``
+in the cluster's :class:`~repro.dvfs.guard.IncidentLog` — the signal
+that the slack plan is stale (e.g. a device degraded into the new
+straggler) and must be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.device import ClusterDevice
+from repro.cluster.spec import ClusterSpec, DeviceProfile
+from repro.core.report import ClusterResult
+from repro.dvfs.guard import GuardConfig, Incident, IncidentLog
+from repro.dvfs.strategy import DvfsStrategy
+from repro.errors import ConfigurationError
+from repro.npu.device import ExecutionResult
+from repro.npu.execution import GroundTruthEvaluator
+from repro.units import US_PER_S
+from repro.workloads.trace import Trace
+
+#: Relative lateness at the barrier that counts as an overrun.
+BARRIER_OVERRUN_TOLERANCE = 0.005
+
+
+@dataclass(frozen=True)
+class DeviceStepOutcome:
+    """One device's share of a training step."""
+
+    device_id: int
+    #: Time the device took to finish its compute (arrival at the barrier).
+    compute_us: float
+    #: Barrier wait: how long the device idled for the straggler.
+    wait_us: float
+    #: Frequency the device idled at during wait + all-reduce.
+    idle_freq_mhz: float
+    #: Compute-phase energy.
+    aicore_energy_j: float
+    soc_energy_j: float
+    #: Idle energy over wait + all-reduce.
+    idle_aicore_energy_j: float
+    idle_soc_energy_j: float
+    end_celsius: float
+    execution: ExecutionResult
+
+    @property
+    def total_soc_energy_j(self) -> float:
+        """Compute plus barrier-idle SoC energy for the step."""
+        return self.soc_energy_j + self.idle_soc_energy_j
+
+    @property
+    def total_aicore_energy_j(self) -> float:
+        """Compute plus barrier-idle AICore energy for the step."""
+        return self.aicore_energy_j + self.idle_aicore_energy_j
+
+
+@dataclass(frozen=True)
+class ClusterStepResult:
+    """Outcome of one synchronous training step across the fleet."""
+
+    cluster_name: str
+    workload: str
+    compute_us: float
+    allreduce_us: float
+    straggler_id: int
+    devices: tuple[DeviceStepOutcome, ...]
+    incidents: tuple[Incident, ...] = ()
+
+    @property
+    def step_us(self) -> float:
+        """Wall time of the step: slowest arrival plus the collective."""
+        return self.compute_us + self.allreduce_us
+
+    @property
+    def fleet_soc_energy_j(self) -> float:
+        """Total SoC energy across all devices, barrier idling included."""
+        return sum(d.total_soc_energy_j for d in self.devices)
+
+    @property
+    def fleet_aicore_energy_j(self) -> float:
+        """Total AICore energy across all devices."""
+        return sum(d.total_aicore_energy_j for d in self.devices)
+
+    @property
+    def fleet_soc_avg_watts(self) -> float:
+        """Fleet-wide (summed) average SoC power over the step."""
+        return self.fleet_soc_energy_j / (self.step_us / US_PER_S)
+
+    def device_rows(self) -> list[dict]:
+        """Per-device table rows (for :func:`repro.core.report.format_table`)."""
+        return [
+            {
+                "device": d.device_id,
+                "compute_ms": round(d.compute_us / 1000.0, 3),
+                "wait_ms": round(d.wait_us / 1000.0, 3),
+                "idle_mhz": round(d.idle_freq_mhz),
+                "soc_j": round(d.total_soc_energy_j, 3),
+                "aicore_j": round(d.total_aicore_energy_j, 3),
+                "straggler": "*" if d.device_id == self.straggler_id else "",
+            }
+            for d in self.devices
+        ]
+
+    def report(self, baseline: "ClusterStepResult") -> ClusterResult:
+        """Compare this step against a baseline step of the same workload."""
+        return ClusterResult(
+            cluster_name=self.cluster_name,
+            workload=self.workload,
+            n_devices=len(self.devices),
+            baseline_step_us=baseline.step_us,
+            step_us=self.step_us,
+            allreduce_us=self.allreduce_us,
+            baseline_soc_energy_j=baseline.fleet_soc_energy_j,
+            soc_energy_j=self.fleet_soc_energy_j,
+            baseline_aicore_energy_j=baseline.fleet_aicore_energy_j,
+            aicore_energy_j=self.fleet_aicore_energy_j,
+            straggler_id=self.straggler_id,
+            device_rows=tuple(self.device_rows()),
+            incidents=self.incidents,
+        )
+
+
+class SimulatedCluster:
+    """N :class:`ClusterDevice` members behind one ring interconnect.
+
+    All devices share one memoised ground-truth evaluator (operator
+    timing is temperature-independent, and speed bins wrap the evaluator
+    per device), so a fleet-wide step costs barely more than N trace
+    replays.
+    """
+
+    def __init__(
+        self, spec: ClusterSpec, guard: GuardConfig | None = None
+    ) -> None:
+        self._spec = spec
+        self._evaluator = GroundTruthEvaluator(spec.npu)
+        self._profiles = spec.device_profiles()
+        self._devices = tuple(
+            ClusterDevice(
+                profile,
+                spec.npu,
+                base_evaluator=self._evaluator,
+                guard=guard,
+                seed=spec.seed,
+            )
+            for profile in self._profiles
+        )
+        self._log = IncidentLog()
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """The cluster description."""
+        return self._spec
+
+    @property
+    def devices(self) -> tuple[ClusterDevice, ...]:
+        """The ring members, in device order."""
+        return self._devices
+
+    @property
+    def profiles(self) -> tuple[DeviceProfile, ...]:
+        """The realised per-device variation."""
+        return self._profiles
+
+    @property
+    def incident_log(self) -> IncidentLog:
+        """Cluster-level incidents (barrier overruns), across all steps."""
+        return self._log
+
+    def run_step(
+        self,
+        trace: Trace,
+        strategies: Sequence[DvfsStrategy] | None = None,
+        target_compute_us: float | None = None,
+        initial_celsius: Sequence[float] | None = None,
+    ) -> ClusterStepResult:
+        """Execute one synchronous training step.
+
+        Args:
+            trace: the operator sequence every device replays.
+            strategies: one DVFS strategy per device (``None`` runs the
+                uniform maximum-frequency baseline on every device).
+            target_compute_us: the arrival target the strategies were
+                planned for; devices arriving later than the tolerance
+                are logged as barrier overruns.
+            initial_celsius: per-device starting temperatures (``None``
+                starts each device at its own board ambient).
+
+        Raises:
+            ConfigurationError: on strategy/temperature count mismatch.
+        """
+        n = len(self._devices)
+        if strategies is not None and len(strategies) != n:
+            raise ConfigurationError(
+                f"{len(strategies)} strategies for {n} devices"
+            )
+        if initial_celsius is not None and len(initial_celsius) != n:
+            raise ConfigurationError(
+                f"{len(initial_celsius)} initial temperatures for {n} devices"
+            )
+        executions: list[tuple[ExecutionResult, float]] = []
+        for i, member in enumerate(self._devices):
+            strategy = strategies[i] if strategies is not None else None
+            celsius = initial_celsius[i] if initial_celsius else None
+            executions.append(member.run(trace, strategy, celsius))
+
+        compute = [result.duration_us for result, _ in executions]
+        compute_us = max(compute)
+        straggler_id = compute.index(compute_us)
+        allreduce_us = self._spec.allreduce_us
+
+        incidents_before = len(self._log)
+        if target_compute_us is not None:
+            for device_id, arrival in enumerate(compute):
+                lateness = (arrival - target_compute_us) / target_compute_us
+                if lateness > BARRIER_OVERRUN_TOLERANCE:
+                    self._log.record(
+                        "barrier_overrun",
+                        time_us=arrival,
+                        detail=(
+                            f"device {device_id} arrived {arrival:.0f} us, "
+                            f"{lateness:.1%} past the planned barrier at "
+                            f"{target_compute_us:.0f} us"
+                        ),
+                    )
+
+        outcomes: list[DeviceStepOutcome] = []
+        for device_id, (member, (result, idle_freq)) in enumerate(
+            zip(self._devices, executions)
+        ):
+            wait_us = compute_us - result.duration_us
+            idle_aicore, idle_soc, end_celsius = member.idle(
+                wait_us + allreduce_us,
+                idle_freq,
+                result.end_celsius,
+            )
+            outcomes.append(
+                DeviceStepOutcome(
+                    device_id=device_id,
+                    compute_us=result.duration_us,
+                    wait_us=wait_us,
+                    idle_freq_mhz=idle_freq,
+                    aicore_energy_j=result.aicore_energy_j,
+                    soc_energy_j=result.soc_energy_j,
+                    idle_aicore_energy_j=idle_aicore,
+                    idle_soc_energy_j=idle_soc,
+                    end_celsius=end_celsius,
+                    execution=result,
+                )
+            )
+        return ClusterStepResult(
+            cluster_name=self._spec.name,
+            workload=trace.name,
+            compute_us=compute_us,
+            allreduce_us=allreduce_us,
+            straggler_id=straggler_id,
+            devices=tuple(outcomes),
+            incidents=self._log.incidents[incidents_before:],
+        )
+
+    def run_steps(
+        self,
+        trace: Trace,
+        strategies: Sequence[DvfsStrategy] | None = None,
+        steps: int = 3,
+        target_compute_us: float | None = None,
+    ) -> list[ClusterStepResult]:
+        """Run consecutive steps with the thermal state carried across."""
+        if steps < 1:
+            raise ConfigurationError(f"steps must be >= 1: {steps}")
+        results: list[ClusterStepResult] = []
+        celsius: Sequence[float] | None = None
+        for _ in range(steps):
+            result = self.run_step(
+                trace, strategies, target_compute_us, celsius
+            )
+            results.append(result)
+            celsius = [d.end_celsius for d in result.devices]
+        return results

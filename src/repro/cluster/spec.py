@@ -1,0 +1,281 @@
+"""Cluster description: N varied devices behind one interconnect.
+
+Real fleets are not N copies of the datasheet chip.  Silicon speed
+binning spreads operator latency a few percent between dies, and rack
+thermal gradients put some boards in warmer air than others.  Both
+matter for synchronous data-parallel training: the *slowest* device sets
+the step time, so per-device variation is precisely what creates the
+reclaimable slack on every other device.
+
+:class:`ClusterSpec` is the immutable description; per-device draws come
+from the repo's standard seeded-stream plumbing
+(:class:`repro.analysis.rng.RngFactory`), with a *fixed number of draws
+per device* so profiles are stable under any later extension of the
+drawing code — the same discipline :mod:`repro.npu.faults` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.rng import RngFactory
+from repro.cluster.collective import InterconnectSpec
+from repro.errors import ConfigurationError
+from repro.npu.faults import FaultConfig
+from repro.npu.spec import NpuSpec, default_npu_spec
+
+#: Stream name the per-device variation draws come from.
+VARIATION_STREAM = "cluster-variation"
+
+
+@dataclass(frozen=True)
+class DeviceVariation:
+    """Statistical spread of the per-device silicon/thermal draws.
+
+    Attributes:
+        speed_sigma: relative sigma of the operator-duration scale
+            (speed binning); 0.03 spreads dies a few percent.
+        max_speed_spread: clamp on the duration scale, as a fraction
+            around 1.0 (0.10 keeps every die within +-10%).
+        ambient_sigma_celsius: sigma of the per-board ambient offset
+            (rack thermal gradient).
+        max_ambient_spread_celsius: clamp on the ambient offset.
+    """
+
+    speed_sigma: float = 0.03
+    max_speed_spread: float = 0.10
+    ambient_sigma_celsius: float = 2.0
+    max_ambient_spread_celsius: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "speed_sigma",
+            "max_speed_spread",
+            "ambient_sigma_celsius",
+            "max_ambient_spread_celsius",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.max_speed_spread >= 1.0:
+            raise ConfigurationError(
+                f"max_speed_spread must be < 1: {self.max_speed_spread}"
+            )
+
+    @classmethod
+    def none(cls) -> "DeviceVariation":
+        """Identical devices (useful as an experimental control)."""
+        return cls(
+            speed_sigma=0.0,
+            max_speed_spread=0.0,
+            ambient_sigma_celsius=0.0,
+            max_ambient_spread_celsius=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceOverride:
+    """An explicit per-device condition layered over the seeded draws.
+
+    Attributes:
+        device_id: which device the override applies to.
+        extra_duration_scale: additional operator-duration multiplier
+            (> 1 models in-field degradation: aging, derating, a stuck
+            fan forcing a thermal offset into timing margins).
+        fault: control-plane fault rates for this device's injector
+            (``None`` keeps the cluster-wide healthy default).
+        reason: free-form tag recorded in the device's fault-event log.
+    """
+
+    device_id: int
+    extra_duration_scale: float = 1.0
+    fault: FaultConfig | None = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ConfigurationError(
+                f"device_id must be >= 0: {self.device_id}"
+            )
+        if self.extra_duration_scale <= 0:
+            raise ConfigurationError(
+                f"extra_duration_scale must be positive: "
+                f"{self.extra_duration_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One device's realised variation (the output of the seeded draws).
+
+    Attributes:
+        device_id: position in the cluster (also the ring order).
+        duration_scale: operator-duration multiplier from speed binning
+            (1.0 nominal, > 1 slower).
+        ambient_offset_celsius: board ambient relative to the cluster's
+            nominal ambient.
+        extra_duration_scale: explicit degradation multiplier from a
+            :class:`DeviceOverride` (1.0 when healthy).
+        fault: control-plane fault rates for this device.
+        override_reason: the override's tag (empty when healthy).
+    """
+
+    device_id: int
+    duration_scale: float
+    ambient_offset_celsius: float
+    extra_duration_scale: float = 1.0
+    fault: FaultConfig = field(default_factory=FaultConfig.none)
+    override_reason: str = ""
+
+    @property
+    def total_duration_scale(self) -> float:
+        """Combined operator-duration multiplier (binning x degradation)."""
+        return self.duration_scale * self.extra_duration_scale
+
+    @property
+    def degraded(self) -> bool:
+        """Whether an explicit degradation override applies."""
+        return self.extra_duration_scale != 1.0
+
+    def npu_for(self, base: NpuSpec) -> NpuSpec:
+        """The per-device hardware spec: base with this board's ambient."""
+        if self.ambient_offset_celsius == 0.0:
+            return base
+        return replace(
+            base,
+            thermal=replace(
+                base.thermal,
+                ambient_celsius=base.thermal.ambient_celsius
+                + self.ambient_offset_celsius,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable description of one data-parallel cluster.
+
+    Attributes:
+        name: label used in reports.
+        n_devices: ring size.
+        npu: the nominal accelerator every device is built from.
+        variation: statistical spread of the per-device draws.
+        interconnect: ring-link characteristics.
+        gradient_bytes: all-reduce payload per training step (the
+            gradient size of the replicated model).
+        seed: root seed of the per-device variation draws.
+        overrides: explicit per-device conditions (degradation, faults).
+    """
+
+    name: str = "ring-cluster"
+    n_devices: int = 8
+    npu: NpuSpec = field(default_factory=default_npu_spec)
+    variation: DeviceVariation = field(default_factory=DeviceVariation)
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    gradient_bytes: float = 64 * 2**20
+    seed: int = 0
+    overrides: tuple[DeviceOverride, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ConfigurationError(
+                f"n_devices must be >= 1: {self.n_devices}"
+            )
+        if self.gradient_bytes < 0:
+            raise ConfigurationError(
+                f"gradient_bytes must be non-negative: {self.gradient_bytes}"
+            )
+        seen: set[int] = set()
+        for override in self.overrides:
+            if override.device_id >= self.n_devices:
+                raise ConfigurationError(
+                    f"override targets device {override.device_id}, but the "
+                    f"cluster has {self.n_devices} devices"
+                )
+            if override.device_id in seen:
+                raise ConfigurationError(
+                    f"duplicate override for device {override.device_id}"
+                )
+            seen.add(override.device_id)
+
+    @property
+    def allreduce_us(self) -> float:
+        """Per-step gradient-exchange time on this cluster."""
+        return self.interconnect.allreduce_us(
+            self.gradient_bytes, self.n_devices
+        )
+
+    def device_profiles(self) -> tuple[DeviceProfile, ...]:
+        """The seeded per-device draws, overrides applied.
+
+        Each device consumes exactly two draws (speed, ambient) from the
+        :data:`VARIATION_STREAM` generator, in device order, so profile
+        ``i`` depends only on ``(seed, i)`` — growing the cluster appends
+        devices without re-rolling the existing ones.
+        """
+        rng = RngFactory(self.seed).generator(VARIATION_STREAM)
+        by_id = {override.device_id: override for override in self.overrides}
+        profiles: list[DeviceProfile] = []
+        for device_id in range(self.n_devices):
+            speed_draw = float(rng.standard_normal())
+            ambient_draw = float(rng.standard_normal())
+            spread = self.variation.max_speed_spread
+            scale = 1.0 + self.variation.speed_sigma * speed_draw
+            scale = min(1.0 + spread, max(1.0 - spread, scale))
+            ambient = self.variation.ambient_sigma_celsius * ambient_draw
+            cap = self.variation.max_ambient_spread_celsius
+            ambient = min(cap, max(-cap, ambient))
+            override = by_id.get(device_id)
+            profiles.append(
+                DeviceProfile(
+                    device_id=device_id,
+                    duration_scale=scale,
+                    ambient_offset_celsius=ambient,
+                    extra_duration_scale=(
+                        override.extra_duration_scale if override else 1.0
+                    ),
+                    fault=(
+                        override.fault
+                        if override is not None and override.fault is not None
+                        else FaultConfig.none()
+                    ),
+                    override_reason=override.reason if override else "",
+                )
+            )
+        return tuple(profiles)
+
+    def with_degraded_device(
+        self, device_id: int, slowdown: float, reason: str = "degraded"
+    ) -> "ClusterSpec":
+        """A copy with one device explicitly slowed by ``slowdown``x."""
+        override = DeviceOverride(
+            device_id=device_id,
+            extra_duration_scale=slowdown,
+            reason=reason,
+        )
+        return replace(
+            self,
+            overrides=self._without(device_id) + (override,),
+        )
+
+    def with_device_fault(
+        self, device_id: int, fault: FaultConfig, reason: str = "faulted"
+    ) -> "ClusterSpec":
+        """A copy with one device's control plane running under faults."""
+        existing = {o.device_id: o for o in self.overrides}.get(device_id)
+        override = DeviceOverride(
+            device_id=device_id,
+            extra_duration_scale=(
+                existing.extra_duration_scale if existing else 1.0
+            ),
+            fault=fault,
+            reason=reason,
+        )
+        return replace(
+            self,
+            overrides=self._without(device_id) + (override,),
+        )
+
+    def _without(self, device_id: int) -> tuple[DeviceOverride, ...]:
+        return tuple(
+            o for o in self.overrides if o.device_id != device_id
+        )

@@ -113,6 +113,75 @@ class OptimizationReport:
         return text
 
 
+@dataclass(frozen=True)
+class ClusterResult:
+    """Fleet-level outcome of a cluster DVFS policy versus its baseline.
+
+    Produced by :meth:`repro.cluster.simulator.ClusterStepResult.report`;
+    kept here (plain data, no cluster imports) so every layer that
+    renders reports can do so without pulling the cluster package in.
+    """
+
+    cluster_name: str
+    workload: str
+    n_devices: int
+    baseline_step_us: float
+    step_us: float
+    allreduce_us: float
+    baseline_soc_energy_j: float
+    soc_energy_j: float
+    baseline_aicore_energy_j: float
+    aicore_energy_j: float
+    straggler_id: int
+    device_rows: tuple[dict, ...] = ()
+    incidents: tuple[Incident, ...] = field(default=())
+
+    @property
+    def step_time_regression(self) -> float:
+        """Fractional step-time increase versus the baseline step."""
+        return (self.step_us - self.baseline_step_us) / self.baseline_step_us
+
+    @property
+    def soc_energy_savings(self) -> float:
+        """Fractional fleet SoC-energy reduction versus the baseline."""
+        return 1.0 - self.soc_energy_j / self.baseline_soc_energy_j
+
+    @property
+    def aicore_energy_savings(self) -> float:
+        """Fractional fleet AICore-energy reduction versus the baseline."""
+        return 1.0 - self.aicore_energy_j / self.baseline_aicore_energy_j
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        text = (
+            f"{self.cluster_name} x{self.n_devices} on {self.workload}: "
+            f"step {self.baseline_step_us / 1000.0:.2f} ms -> "
+            f"{self.step_us / 1000.0:.2f} ms "
+            f"({self.step_time_regression:+.2%}), fleet SoC energy "
+            f"{self.baseline_soc_energy_j:.1f} J -> "
+            f"{self.soc_energy_j:.1f} J "
+            f"(-{self.soc_energy_savings:.2%}); straggler is device "
+            f"{self.straggler_id}, all-reduce "
+            f"{self.allreduce_us / 1000.0:.2f} ms."
+        )
+        if self.incidents:
+            text += f" {len(self.incidents)} barrier incident(s) recorded."
+        return text
+
+    def incident_rows(self) -> list[dict]:
+        """Cluster-incident table rows (for :func:`format_table`)."""
+        return [incident.to_row() for incident in self.incidents]
+
+    def render(self) -> str:
+        """Summary plus the per-device table."""
+        body = self.summary()
+        if self.device_rows:
+            body += "\n" + format_table(list(self.device_rows))
+        if self.incidents:
+            body += "\n" + format_table(self.incident_rows())
+        return body
+
+
 def render_strategy_timeline(strategy, width: int = 72) -> str:
     """ASCII rendering of a DVFS strategy's frequency over the iteration.
 

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    ext_cluster,
     ext_fault_tolerance,
     ext_fleet,
     ext_granularity,
@@ -29,6 +31,7 @@ from repro.experiments import (
 from repro.experiments.base import ExperimentResult
 
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "ext_cluster": ext_cluster.run,
     "ext_fault_tolerance": ext_fault_tolerance.run,
     "ext_fleet": ext_fleet.run,
     "ext_granularity": ext_granularity.run,
@@ -65,7 +68,12 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     try:
         runner = _REGISTRY[experiment_id]
     except KeyError:
+        close = difflib.get_close_matches(
+            experiment_id, experiment_ids(), n=3
+        )
+        hint = f" (did you mean {', '.join(map(repr, close))}?)" if close else ""
         raise ExperimentError(
-            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+            f"unknown experiment {experiment_id!r}{hint}; "
+            f"known: {', '.join(experiment_ids())}"
         ) from None
     return runner(**kwargs)

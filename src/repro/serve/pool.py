@@ -128,6 +128,21 @@ class OptimizerPool:
             results = list(self._ensure_executor().map(_run_job, payloads))
         return {result.fingerprint: result for result in results}
 
+    def map_jobs(self, fn, payloads: Sequence) -> list:
+        """Run a pure, picklable job over payloads, preserving order.
+
+        The generic sibling of :meth:`optimize_batch` for callers (the
+        cluster DVFS table builder, for one) whose jobs are not full
+        optimizer runs.  ``fn`` must be module-level (picklable) and a
+        pure function of its payload; under that contract the serial and
+        parallel paths return byte-identical results at any worker
+        count.
+        """
+        payloads = list(payloads)
+        if self._workers <= 1 or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        return list(self._ensure_executor().map(fn, payloads))
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self._workers)

@@ -21,6 +21,21 @@ class TestRegistry:
         with pytest.raises(ExperimentError):
             run_experiment("fig99")
 
+    def test_unknown_id_error_lists_known_experiments(self):
+        with pytest.raises(ExperimentError) as exc_info:
+            run_experiment("fig99")
+        message = str(exc_info.value)
+        assert "fig99" in message
+        for known in experiment_ids():
+            assert known in message
+
+    def test_unknown_id_error_suggests_close_match(self):
+        with pytest.raises(ExperimentError) as exc_info:
+            run_experiment("ext_clutser")
+        message = str(exc_info.value)
+        assert "did you mean" in message
+        assert "ext_cluster" in message
+
 
 class TestBaseHelpers:
     def test_percent(self):
