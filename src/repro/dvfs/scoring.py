@@ -108,6 +108,20 @@ class StrategyScorer:
         self._stage_soc_energy = np.zeros((n_stages, n_freqs))
         entries = trace.entries
         names_cache: dict[int, str] = {}
+        # Idle power depends only on the frequency grid, not on the stage:
+        # build both vectors once instead of per stage.
+        idle_ai = np.array(
+            [
+                constants.aicore_idle.predict(f, v)
+                for f, v in zip(self._freqs, self._volts)
+            ]
+        )
+        idle_soc = np.array(
+            [
+                constants.soc_idle.predict(f, v)
+                for f, v in zip(self._freqs, self._volts)
+            ]
+        )
         for j, stage in enumerate(self._stages):
             names = [
                 names_cache.setdefault(i, entries[i].spec.name)
@@ -126,18 +140,6 @@ class StrategyScorer:
             # (maximum) frequency, and they draw idle power.
             op_time = self._stage_time[j].copy()
             idle_time = max(0.0, stage.duration_us - float(op_time[-1]))
-            idle_ai = np.array(
-                [
-                    constants.aicore_idle.predict(f, v)
-                    for f, v in zip(self._freqs, self._volts)
-                ]
-            )
-            idle_soc = np.array(
-                [
-                    constants.soc_idle.predict(f, v)
-                    for f, v in zip(self._freqs, self._volts)
-                ]
-            )
             self._stage_time[j] = op_time + idle_time
             self._stage_aicore_energy[j] += idle_time * idle_ai
             self._stage_soc_energy[j] += idle_time * idle_soc

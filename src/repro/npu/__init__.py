@@ -15,6 +15,14 @@ from repro.npu.device import (
     OperatorRecord,
     PowerChunk,
 )
+from repro.npu.engine import (
+    CompiledTrace,
+    EngineStats,
+    TraceEngine,
+    fast_path_enabled,
+    reference_only,
+    set_fast_path_enabled,
+)
 from repro.npu.execution import GroundTruthEvaluator, OperatorEvaluation
 from repro.npu.faults import (
     FaultConfig,
@@ -77,6 +85,7 @@ from repro.npu.timeline import (
     Scenario,
     Segment,
     Timeline,
+    analytical_busy_stall,
     build_timeline,
     closed_form_cycles,
 )
@@ -87,6 +96,8 @@ __all__ = [
     "BlockCosts",
     "CORE_PIPES",
     "CannStyleProfiler",
+    "CompiledTrace",
+    "EngineStats",
     "ExecutionResult",
     "FaultConfig",
     "FaultInjector",
@@ -125,20 +136,25 @@ __all__ = [
     "ThermalSpec",
     "ThermalState",
     "Timeline",
+    "TraceEngine",
     "UNCORE_PIPES",
     "ValidationReport",
     "VoltageCurve",
+    "analytical_busy_stall",
     "build_timeline",
     "closed_form_cycles",
     "default_npu_spec",
     "edge_npu_spec",
+    "fast_path_enabled",
     "frequency_reverts_after",
     "frequency_rises_before",
     "get_profile",
     "gpu_v100_like_spec",
     "merge_reports",
     "noise_free_spec",
+    "reference_only",
     "save_chrome_trace",
+    "set_fast_path_enabled",
     "solve_equilibrium_power",
     "to_chrome_trace",
     "validate_spec",

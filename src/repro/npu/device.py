@@ -19,6 +19,7 @@ Execution semantics:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -87,8 +88,10 @@ class ExecutionResult:
     duration_us: float
     aicore_energy_j: float
     soc_energy_j: float
-    records: tuple[OperatorRecord, ...]
-    chunks: tuple[PowerChunk, ...]
+    #: Tuple on the reference path; a lazily materialising sequence (same
+    #: indexing/iteration/equality semantics) on the compiled fast path.
+    records: Sequence[OperatorRecord]
+    chunks: Sequence[PowerChunk]
     start_celsius: float
     end_celsius: float
 
@@ -113,13 +116,34 @@ class ExecutionResult:
 
 
 class NpuDevice:
-    """Executable model of one NPU, wrapping a ground-truth evaluator."""
+    """Executable model of one NPU, wrapping a ground-truth evaluator.
+
+    Plain frequency plans (a wall-clock :class:`FrequencyTimeline`, or an
+    :class:`AnchoredFrequencyPlan` with zero extra delay) execute on the
+    compiled-trace fast path of :mod:`repro.npu.engine`, which is
+    numerically equivalent to the reference loop below; stateful plans
+    (fault-injecting, guarded, busy-controller) keep the reference loop.
+    Pass ``engine=False`` — or use :func:`repro.npu.engine.reference_only`
+    — to force the reference loop everywhere.
+    """
 
     def __init__(
-        self, npu: NpuSpec, evaluator: GroundTruthEvaluator | None = None
+        self,
+        npu: NpuSpec,
+        evaluator: GroundTruthEvaluator | None = None,
+        engine: bool = True,
     ) -> None:
         self._npu = npu
         self._evaluator = evaluator or GroundTruthEvaluator(npu)
+        self._engine = None
+        if engine:
+            # Imported here: repro.npu.engine imports this module's
+            # result/record/chunk types at import time.
+            from repro.npu.engine import TraceEngine
+
+            self._engine = TraceEngine(npu, self._evaluator)
+        self._fast_path_runs = 0
+        self._reference_runs = 0
 
     @property
     def npu(self) -> NpuSpec:
@@ -130,6 +154,21 @@ class NpuDevice:
     def evaluator(self) -> GroundTruthEvaluator:
         """The shared (memoised) ground-truth evaluator."""
         return self._evaluator
+
+    @property
+    def engine(self):
+        """The compiled-trace engine, or None if disabled for this device."""
+        return self._engine
+
+    @property
+    def fast_path_runs(self) -> int:
+        """Iterations this device executed on the compiled fast path."""
+        return self._fast_path_runs
+
+    @property
+    def reference_runs(self) -> int:
+        """Iterations this device executed on the reference loop."""
+        return self._reference_runs
 
     def run(
         self,
@@ -152,6 +191,10 @@ class NpuDevice:
         """
         if timeline is None:
             timeline = FrequencyTimeline.constant(self._npu.max_frequency_mhz)
+        if self._engine is not None and self._engine.active_for(timeline):
+            self._fast_path_runs += 1
+            return self._engine.execute(trace, timeline, initial_celsius)
+        self._reference_runs += 1
         # Stateful plans expose reset(); wall-clock timelines do not.
         reset = getattr(timeline, "reset", None)
         if callable(reset):

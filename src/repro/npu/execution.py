@@ -13,13 +13,20 @@ dispatch the same spec many times.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import ConfigurationError
 from repro.npu.pipelines import Pipe
 from repro.npu.spec import NpuSpec
-from repro.npu.timeline import BlockCosts, Timeline, build_timeline
+from repro.npu.timeline import (
+    BlockCosts,
+    Timeline,
+    analytical_busy_stall,
+    build_timeline,
+    closed_form_cycles,
+)
 from repro.npu.operators import OperatorKind, OperatorSpec
 
 #: Uncore bandwidth utilisation attributed to non-compute operators:
@@ -75,21 +82,71 @@ class OperatorEvaluation:
         return float(sum(self.utilisation.values()))
 
 
-class GroundTruthEvaluator:
-    """Memoised exact operator evaluation against one NPU spec."""
+#: Default bound on the evaluator memo.  A full profiler sweep over the
+#: stock grid touches a few thousand distinct (character, frequency) pairs,
+#: so this keeps every realistic workload fully resident while capping
+#: memory for long-lived fleet services evaluating many unrelated traces.
+DEFAULT_EVALUATOR_CACHE_SIZE = 65536
 
-    def __init__(self, npu: NpuSpec) -> None:
+
+class GroundTruthEvaluator:
+    """Memoised exact operator evaluation against one NPU spec.
+
+    The memo is a size-capped LRU: when full, the least recently used
+    ``(character, frequency)`` entry is evicted.  Hit/miss counters are
+    exposed via :meth:`cache_info`.
+    """
+
+    def __init__(
+        self,
+        npu: NpuSpec,
+        cache_size: int = DEFAULT_EVALUATOR_CACHE_SIZE,
+    ) -> None:
+        if cache_size <= 0:
+            raise ConfigurationError(
+                f"evaluator cache size must be positive: {cache_size}"
+            )
         self._npu = npu
         # Keyed by the operator's ComputeCharacter (not its spec): traces
         # contain thousands of uniquely named operators that share identical
         # characters across layers, and everything here depends only on the
         # character.
-        self._cache: dict[tuple[object, float], OperatorEvaluation] = {}
+        self._cache: OrderedDict[tuple[object, float], OperatorEvaluation] = (
+            OrderedDict()
+        )
+        self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
 
     @property
     def npu(self) -> NpuSpec:
         """The hardware description evaluations are computed against."""
         return self._npu
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of :meth:`evaluate` calls served from the memo."""
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of :meth:`evaluate` calls that computed fresh."""
+        return self._misses
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size/capacity counters of the evaluation memo."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "capacity": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoised evaluations and reset the counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
 
     def evaluate(self, spec: OperatorSpec, freq_mhz: float) -> OperatorEvaluation:
         """Exact characteristics of ``spec`` at a validated grid frequency."""
@@ -100,9 +157,14 @@ class GroundTruthEvaluator:
             key = ((spec.kind, spec.fixed_duration_us), freq_mhz)
         cached = self._cache.get(key)
         if cached is None:
+            self._misses += 1
             cached = self._evaluate_uncached(spec, freq_mhz)
             self._cache[key] = cached
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
             return cached
+        self._hits += 1
+        self._cache.move_to_end(key)
         if cached.spec is spec or cached.spec == spec:
             return cached
         # Same character under a different name: reuse the numbers.
@@ -199,11 +261,20 @@ class GroundTruthEvaluator:
         if not spec.is_compute or spec.compute is None:
             return self._evaluate_noncompute(spec, freq_mhz)
         compute = spec.compute
-        timeline = self.timeline(spec, freq_mhz)
+        costs = self._block_costs(spec, freq_mhz)
+        # The closed forms (totals per Eqs. (5)-(8); per-pipe busy/stall
+        # per the disjointness argument of analytical_busy_stall) match
+        # the explicit build_timeline schedule; the hot path skips the
+        # per-block segment construction.
+        pipeline_cycles = closed_form_cycles(
+            compute.scenario, compute.n_blocks, costs
+        )
+        busy, stall_cycles = analytical_busy_stall(
+            compute.scenario, compute.n_blocks, costs, compute.core_mix_dict
+        )
         overhead_cycles = compute.fixed_overhead_us * freq_mhz
-        total_cycles = timeline.total_cycles + overhead_cycles
+        total_cycles = pipeline_cycles + overhead_cycles
         duration_us = total_cycles / freq_mhz
-        busy = timeline.busy_cycles()
         utilisation = {
             pipe: cycles / total_cycles for pipe, cycles in busy.items()
         }
@@ -217,9 +288,9 @@ class GroundTruthEvaluator:
             spec=spec,
             freq_mhz=freq_mhz,
             duration_us=duration_us,
-            pipeline_cycles=timeline.total_cycles,
+            pipeline_cycles=pipeline_cycles,
             overhead_cycles=overhead_cycles,
-            stall_cycles=timeline.stall_cycles(),
+            stall_cycles=stall_cycles,
             utilisation=utilisation,
             bandwidth_utilisation=bandwidth_utilisation,
             alpha_effective=alpha,

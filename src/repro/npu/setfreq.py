@@ -223,6 +223,57 @@ class AnchoredFrequencyPlan:
         """Requests superseded while waiting for a busy controller."""
         return self._dropped_switches
 
+    @property
+    def extra_delay_us(self) -> float:
+        """Extra hardware delay past the documented SetFreq latency."""
+        return self._extra_delay
+
+    def compile_op_schedule(
+        self, n_ops: int
+    ) -> tuple[list[float], list[float]]:
+        """Per-operator frequency schedule for a zero-extra-delay plan.
+
+        With zero extra delay every anchored switch takes effect exactly
+        at its anchor operator's start, so the whole execution reduces to
+        one frequency per operator (and one for the idle gap before it) —
+        the closed form the compiled-trace engine executes vectorised.
+        The plan's mutable state is fast-forwarded to exactly what a full
+        replay through :meth:`on_op_start`/:meth:`frequency_at` would
+        leave behind, so post-run inspection (``applied_switch_count``)
+        is indistinguishable from the reference path.
+
+        Returns:
+            ``(gap_freqs, op_freqs)``: frequency in effect during the idle
+            span before each operator, and while it runs.
+
+        Raises:
+            StrategyError: if the plan has a non-zero extra delay (its
+                switches land mid-operator and need the reference loop).
+        """
+        if self._extra_delay != 0.0:
+            raise StrategyError(
+                "compile_op_schedule requires zero extra delay; "
+                f"got {self._extra_delay} us"
+            )
+        self.reset()
+        gap_freqs: list[float] = []
+        op_freqs: list[float] = []
+        current = self._initial
+        applied = 0
+        for index in range(n_ops):
+            gap_freqs.append(current)
+            freq = self._anchors.get(index)
+            if freq is not None:
+                # The reference path schedules and immediately consumes
+                # the switch, counting it applied even when the target
+                # equals the current frequency.
+                current = freq
+                applied += 1
+            op_freqs.append(current)
+        self._current = current
+        self._applied_switches = applied
+        return gap_freqs, op_freqs
+
     def reset(self) -> None:
         """Prepare the plan for a fresh execution."""
         self._current = self._initial

@@ -232,6 +232,72 @@ def _union_length(segments: Iterable[Segment]) -> float:
     return covered
 
 
+def analytical_busy_stall(
+    scenario: Scenario,
+    n_blocks: int,
+    costs: BlockCosts,
+    core_mix: Mapping[Pipe, float],
+) -> tuple[dict[Pipe, float], float]:
+    """Per-pipe busy cycles and stall cycles, without building segments.
+
+    In the schedules of Figs. 5-7 the segments of any single pipe are
+    pairwise disjoint: each scenario's pacing interval (``core + max(ld,
+    st)``, ``ld + core + st``, or ``max(ld, core, st)``) is at least as
+    long as every individual component, so consecutive occurrences of the
+    same pipe never overlap — at most they touch.  A pipe's union-length
+    there equals the plain sum of its segment lengths (``n * ld`` for
+    MTE2, ``n * st`` for MTE3, ``n * core * fraction`` per core pipe),
+    and the core-domain union is ``n * core``.
+
+    The Fig. 8 two-stream schedule does overlap across streams: sorted
+    chain starts alternate with gaps ``offset`` (= the dominant
+    component) and ``serial - offset``.  Every per-pipe segment length is
+    at most ``offset``, so only the odd gaps clip, and the union of ``n``
+    length-``L`` segments reduces to ``L + a*L + b*min(L, serial -
+    offset)`` with ``a = ceil((n-1)/2)`` even gaps and ``b =
+    floor((n-1)/2)`` odd ones.
+
+    This is what the hot evaluation path uses; :func:`build_timeline`
+    remains the explicit schedule the PMU view derives from, and a
+    property test pins the two against each other.
+
+    Returns:
+        ``(busy cycles per pipe, stall cycles)`` — the same values as
+        ``build_timeline(...).busy_cycles()`` / ``.stall_cycles()``.
+    """
+    if n_blocks < 1:
+        raise ConfigurationError(f"n_blocks must be >= 1, got {n_blocks}")
+    validate_core_mix(dict(core_mix))
+    n = n_blocks
+    total = closed_form_cycles(scenario, n, costs)
+    core = costs.core_cycles
+    if scenario is Scenario.PINGPONG_DEPENDENT and n > 1:
+        a = (n - 1 + 1) // 2  # even-position gaps, length == offset
+        b = (n - 1) // 2  # odd-position gaps, length == serial - offset
+        odd_gap = costs.serial_cycles - costs.max_component
+
+        def union(length: float) -> float:
+            # Segment length never exceeds the offset (the dominant
+            # component), so only the odd gaps can clip.
+            return (1 + a) * length + b * min(length, odd_gap)
+    else:
+
+        def union(length: float) -> float:
+            return n * length
+
+    busy: dict[Pipe, float] = {}
+    if costs.ld_cycles > 0:
+        busy[Pipe.MTE2] = union(costs.ld_cycles)
+    for pipe in _CORE_PIPE_ORDER:
+        fraction = core_mix.get(pipe, 0.0)
+        if fraction > 0:
+            busy[pipe] = union(core * fraction)
+    if costs.st_cycles > 0:
+        busy[Pipe.MTE3] = union(costs.st_cycles)
+    core_union = union(core) if core > 0 else 0.0
+    return busy, total - core_union
+
+
 def build_timeline(
     scenario: Scenario,
     n_blocks: int,

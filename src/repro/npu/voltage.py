@@ -41,6 +41,15 @@ class VoltageCurve:
 
     def volts(self, freq_mhz: float | np.ndarray) -> float | np.ndarray:
         """Supply voltage at ``freq_mhz``; vectorised over arrays."""
+        if isinstance(freq_mhz, (float, int)):
+            # Scalar fast path: identical arithmetic to the array path,
+            # without ndarray round-trips (this sits under every
+            # per-chunk power query).
+            if freq_mhz <= 0:
+                raise ConfigurationError("frequency must be positive")
+            return self.flat_volts + self.slope_volts_per_mhz * max(
+                0.0, freq_mhz - self.knee_mhz
+            )
         f = np.asarray(freq_mhz, dtype=float)
         if np.any(f <= 0):
             raise ConfigurationError("frequency must be positive")

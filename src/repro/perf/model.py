@@ -87,10 +87,21 @@ class WorkloadPerformanceModel:
 
         This is the lookup table the genetic-algorithm scoring uses.
         """
-        matrix = np.empty((len(names), len(freqs_mhz)), dtype=float)
+        freqs = np.asarray(list(freqs_mhz), dtype=float)
+        matrix = np.empty((len(names), freqs.size), dtype=float)
         for i, name in enumerate(names):
-            for j, freq in enumerate(freqs_mhz):
-                matrix[i, j] = self.predict_time_us(name, freq)
+            try:
+                model = self.operators[name]
+            except KeyError:
+                raise FittingError(
+                    f"no performance model for operator {name!r}"
+                ) from None
+            if model.fit is None:
+                matrix[i, :] = model.constant_us
+            else:
+                # One vectorised surrogate evaluation per operator row
+                # instead of a scalar call per (operator, frequency) cell.
+                matrix[i, :] = model.fit.predict_time_us(freqs)
         return matrix
 
 
