@@ -44,6 +44,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import numpy as np  # noqa: E402
+
+from repro import batching  # noqa: E402
 from repro.cluster import ClusterSpec, SimulatedCluster  # noqa: E402
 from repro.core import EnergyOptimizer, OptimizerConfig  # noqa: E402
 from repro.dvfs.ga import GaConfig, run_search  # noqa: E402
@@ -239,6 +242,110 @@ def bench_ga(trace, warmup: int, rounds: int) -> dict:
     }
 
 
+def bench_pipeline(trace, warmup: int, rounds: int) -> dict:
+    """Cold-path strategy generation: profile -> fit -> score -> search.
+
+    Fast arm: compiled-trace engine + batched cold path (the defaults).
+    Reference arm: per-chunk execution loop + scalar cold path.  Offline
+    calibration is shared (it is per-device, not per-workload, and would
+    otherwise dominate both arms identically).
+
+    Gates, both fatal:
+
+    * byte-identical ``best_genes`` for seeds 0/1/2 between the batched
+      and scalar cold paths (same execution engine, so the noise streams
+      are comparable bit for bit);
+    * fitted-model predictions within ``EQUIV_REL_TOL`` between the fast
+      arm and the full reference arm (whose engine-off measurements
+      differ at float rounding level).
+    """
+    spec = default_npu_spec()
+    grid = np.asarray(spec.frequencies.points, dtype=float)
+    constants = EnergyOptimizer(OptimizerConfig()).calibrate()
+
+    def cold_path(seed=0):
+        config = OptimizerConfig(
+            ga=GaConfig(population_size=64, iterations=16, seed=seed),
+            seed=seed,
+        )
+        optimizer = EnergyOptimizer(config)
+        optimizer.use_calibration(constants)
+        bundle = optimizer.profile(trace)
+        models = optimizer.build_models(bundle)
+        candidates = optimizer.preprocess(bundle)
+        _, _, result = optimizer.search(trace, models, candidates)
+        return models, result
+
+    fast = time_rounds(lambda: cold_path(), warmup, rounds)
+
+    def ref_cold_path(seed=0):
+        with reference_only(), batching.reference_cold_path():
+            return cold_path(seed)
+
+    ref = time_rounds(lambda: ref_cold_path(), min(warmup, 1), rounds)
+
+    # Determinism gate: the batched cold path must reproduce the scalar
+    # one byte for byte (engine on in both arms).
+    for seed in (0, 1, 2):
+        _, batched_result = cold_path(seed)
+        with batching.reference_cold_path():
+            _, scalar_result = cold_path(seed)
+        if (
+            batched_result.best_genes.tobytes()
+            != scalar_result.best_genes.tobytes()
+        ):
+            raise EquivalenceFailure(
+                f"pipeline: best_genes diverged for seed {seed}"
+            )
+
+    # Model-prediction gate vs the full (engine-off) reference arm.
+    fast_models, _ = cold_path()
+    ref_models, _ = ref_cold_path()
+    names = list(fast_models.performance.operators)
+    if set(names) != set(ref_models.performance.operators):
+        raise EquivalenceFailure("pipeline: operator sets diverged")
+    worst = 0.0
+    pairs = [
+        (
+            fast_models.performance.duration_matrix(names, grid),
+            ref_models.performance.duration_matrix(names, grid),
+            "duration",
+        ),
+        (
+            fast_models.power.aicore_power_matrix(names, grid),
+            ref_models.power.aicore_power_matrix(names, grid),
+            "aicore_power",
+        ),
+        (
+            fast_models.power.soc_power_matrix(names, grid),
+            ref_models.power.soc_power_matrix(names, grid),
+            "soc_power",
+        ),
+    ]
+    for got, want, label in pairs:
+        scale = np.maximum(np.maximum(np.abs(got), np.abs(want)), 1e-30)
+        err = float((np.abs(got - want) / scale).max())
+        worst = max(worst, err)
+        if err > EQUIV_REL_TOL:
+            raise EquivalenceFailure(
+                f"pipeline: {label} matrix diverged by {err:.3e}"
+            )
+
+    return {
+        "trace": trace.name,
+        "operators": len(trace.entries),
+        "distinct_names": len(names),
+        "grid_points": int(grid.size),
+        "ga_population": 64,
+        "ga_iterations": 16,
+        "fast": fast,
+        "reference": ref,
+        "speedup": ref["best_seconds"] / fast["best_seconds"],
+        "max_rel_error": worst,
+        "best_genes_identical_seeds": [0, 1, 2],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -253,6 +360,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-ga", action="store_true",
         help="skip the GA section (it dominates smoke-run wall time)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated subset of sections to run "
+        "(simulate,sweep,cluster,ga,pipeline)",
     )
     parser.add_argument(
         "--output",
@@ -297,6 +410,18 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(
             ("ga", lambda: bench_ga(trace, min(args.warmup, 1), args.rounds))
         )
+    sections.append(
+        (
+            "pipeline",
+            lambda: bench_pipeline(trace, args.warmup, args.rounds),
+        )
+    )
+    if args.only:
+        wanted = {part.strip() for part in args.only.split(",") if part.strip()}
+        unknown = wanted - {name for name, _ in sections}
+        if unknown:
+            parser.error(f"unknown sections: {sorted(unknown)}")
+        sections = [(n, r) for n, r in sections if n in wanted]
     for name, runner in sections:
         print(f"[{name}] running ...", flush=True)
         try:

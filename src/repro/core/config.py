@@ -108,6 +108,14 @@ class OptimizerConfig:
         """A copy with different guarded-runtime knobs."""
         return replace(self, guard=guard)
 
+    def with_patience(self, patience: int) -> "OptimizerConfig":
+        """A copy whose GA stops after ``patience`` stale generations.
+
+        ``0`` (the default) disables early stopping and always runs the
+        full iteration budget.
+        """
+        return replace(self, ga=replace(self.ga, patience=patience))
+
     def with_cluster(self, cluster: "ClusterSpec | None") -> "OptimizerConfig":
         """A copy targeting a multi-device fleet (or back to one device)."""
         return replace(self, cluster=cluster)

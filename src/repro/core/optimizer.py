@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.rng import RngFactory
+from repro.batching import batched_cold_path_enabled
 from repro.core.config import OptimizerConfig
 from repro.core.report import MeasuredMetrics, OptimizationReport
 from repro.dvfs.classification import classify_operators
@@ -29,32 +30,46 @@ from repro.dvfs.preprocessing import PreprocessResult, preprocess
 from repro.dvfs.scoring import StrategyScorer
 from repro.dvfs.strategy import DvfsStrategy, strategy_from_genes
 from repro.npu.device import NpuDevice
+from repro.npu.engine import fast_path_enabled
 from repro.npu.faults import (
     FaultInjector,
     FaultyCannStyleProfiler,
     FaultyPowerTelemetry,
 )
+from repro.npu.gridprofile import GridProfileData, profile_cold_grid
 from repro.npu.profiler import CannStyleProfiler, ProfileReport
 from repro.npu.setfreq import FrequencyTimeline
 from repro.npu.telemetry import PowerTelemetry
+from repro.perf.fitting import BATCH_FITTERS
 from repro.perf.model import (
     WorkloadPerformanceModel,
     build_performance_model,
+    build_performance_model_batched,
     patch_missing_operators,
 )
 from repro.power.calibration import CalibrationConstants, run_offline_calibration
-from repro.power.optable import OperatorPowerTable, build_operator_power_table
+from repro.power.optable import (
+    OperatorPowerTable,
+    build_operator_power_table,
+    build_operator_power_table_batched,
+)
 from repro.workloads.generators import micro
 from repro.workloads.trace import Trace
 
 
 @dataclass(frozen=True)
 class ProfilingBundle:
-    """Everything collected while profiling one workload."""
+    """Everything collected while profiling one workload.
+
+    ``grid`` carries the batched per-operator duration matrix when the
+    one-pass cold path produced the bundle; the scalar sweep leaves it
+    ``None`` and model fitting falls back to walking the reports.
+    """
 
     reports: tuple[ProfileReport, ...]
     power_readings: dict[float, dict[str, tuple[float, float]]]
     baseline_report: ProfileReport
+    grid: GridProfileData | None = None
 
 
 @dataclass(frozen=True)
@@ -156,12 +171,57 @@ class EnergyOptimizer:
         """Inject precomputed offline constants (skips recalibration)."""
         self._calibration = constants
 
+    def _can_profile_batched(self) -> bool:
+        """Whether the one-pass grid profiler applies to this pipeline.
+
+        Fault-injecting instruments consume their noise streams
+        differently (drops, perturbations), so anything but the plain
+        profiler/telemetry pair keeps the sequential sweep; the grid pass
+        also needs the compiled-trace engine.
+        """
+        return (
+            batched_cold_path_enabled()
+            and fast_path_enabled()
+            and self._device.engine is not None
+            and type(self._profiler) is CannStyleProfiler
+            and type(self._telemetry) is PowerTelemetry
+        )
+
     def profile(self, trace: Trace) -> ProfilingBundle:
-        """Step 1: run the workload at the reference frequencies."""
+        """Step 1: run the workload at the reference frequencies.
+
+        With the batched cold path on (the default), the whole frequency
+        sweep is profiled in one vectorised pass over the compiled trace;
+        the resulting reports, telemetry readings, and noise-stream
+        consumption are bit-identical to the sequential loop below.
+        """
+        baseline_freq = self._config.npu.max_frequency_mhz
+        if self._can_profile_batched():
+            grid_result = profile_cold_grid(
+                self._device,
+                trace,
+                self._config.profile_freqs_mhz,
+                baseline_freq,
+                self._profiler.rng,
+                self._telemetry.rng,
+            )
+            reports = []
+            baseline_report: ProfileReport | None = None
+            for freq, report in grid_result.reports:
+                if freq in self._config.profile_freqs_mhz:
+                    reports.append(report)
+                if freq == baseline_freq:
+                    baseline_report = report
+            assert baseline_report is not None
+            return ProfilingBundle(
+                reports=tuple(reports),
+                power_readings=grid_result.power_readings,
+                baseline_report=baseline_report,
+                grid=grid_result.data,
+            )
         reports = []
         power_readings: dict[float, dict[str, tuple[float, float]]] = {}
-        baseline_report: ProfileReport | None = None
-        baseline_freq = self._config.npu.max_frequency_mhz
+        baseline_report = None
         profile_freqs = set(self._config.profile_freqs_mhz) | {baseline_freq}
         for freq in sorted(profile_freqs):
             result = self._device.run_stable(
@@ -190,19 +250,37 @@ class EnergyOptimizer:
         baseline-report duration so strategy scoring stays total.
         """
         tolerant = self._config.fault.profiler_active
-        performance = build_performance_model(
-            list(bundle.reports),
-            function=self._config.fit_function,
-            fit_freqs_mhz=self._config.profile_freqs_mhz,
-            allow_missing=tolerant,
+        batched = (
+            bundle.grid is not None
+            and batched_cold_path_enabled()
+            and not tolerant
+            and self._config.fit_function in BATCH_FITTERS
         )
-        if tolerant:
-            performance = patch_missing_operators(
-                performance, bundle.baseline_report
+        if batched:
+            performance = build_performance_model_batched(
+                bundle.grid,
+                function=self._config.fit_function,
+                fit_freqs_mhz=self._config.profile_freqs_mhz,
             )
-        power = build_operator_power_table(
-            bundle.power_readings, self.calibrate()
-        )
+        else:
+            performance = build_performance_model(
+                list(bundle.reports),
+                function=self._config.fit_function,
+                fit_freqs_mhz=self._config.profile_freqs_mhz,
+                allow_missing=tolerant,
+            )
+            if tolerant:
+                performance = patch_missing_operators(
+                    performance, bundle.baseline_report
+                )
+        if batched:
+            power = build_operator_power_table_batched(
+                bundle.power_readings, self.calibrate()
+            )
+        else:
+            power = build_operator_power_table(
+                bundle.power_readings, self.calibrate()
+            )
         return ModelBundle(performance=performance, power=power)
 
     def preprocess(self, bundle: ProfilingBundle) -> PreprocessResult:

@@ -115,15 +115,28 @@ def initial_population(
     lfc_mask = np.array(
         [stage.kind is StageKind.LFC for stage in stages], dtype=bool
     )
+    freqs_arr = np.asarray(freqs_mhz, dtype=float)
     for slot, (lfc_mhz, hfc_mhz) in enumerate(prior_levels[:slots], start=1):
-        lfc_index = _nearest_index(freqs_mhz, lfc_mhz)
-        hfc_index = _nearest_index(freqs_mhz, hfc_mhz)
+        lfc_index = _nearest_index(freqs_arr, lfc_mhz)
+        hfc_index = _nearest_index(freqs_arr, hfc_mhz)
         population[slot, :] = np.where(lfc_mask, lfc_index, hfc_index)
     return population
 
 
-def _nearest_index(freqs_mhz: tuple[float, ...], target: float) -> int:
-    return int(np.argmin(np.abs(np.asarray(freqs_mhz) - target)))
+def _nearest_index(
+    freqs_mhz: tuple[float, ...] | np.ndarray, target: float
+) -> int:
+    """Index of the grid frequency closest to ``target``.
+
+    Accepts a precomputed ndarray so callers in a loop (the prior family
+    above) convert the grid once instead of re-allocating per call.
+    """
+    freqs = (
+        freqs_mhz
+        if isinstance(freqs_mhz, np.ndarray)
+        else np.asarray(freqs_mhz, dtype=float)
+    )
+    return int(np.argmin(np.abs(freqs - target)))
 
 
 def _roulette_pick(
@@ -171,9 +184,17 @@ def run_search(
         # Tail-swap crossover: exchange the last k genes (Sect. 6.3.3).
         do_cross = rng.random(parent_count) < config.crossover_rate
         cut = rng.integers(1, n_stages + 1, size=parent_count)
-        for i in np.nonzero(do_cross)[0]:
-            k = cut[i]
-            children[i, n_stages - k:] = parents_b[i, n_stages - k:]
+        # Masked column assignment over the crossing rows — the RNG draws
+        # above are unchanged and gene copies are integer-exact, so this
+        # is bit-identical to the former per-row tail-swap loop.
+        cross_rows = np.nonzero(do_cross)[0]
+        if cross_rows.size:
+            tail = np.arange(n_stages)[None, :] >= (
+                n_stages - cut[cross_rows]
+            )[:, None]
+            crossed = children[cross_rows]
+            crossed[tail] = parents_b[cross_rows][tail]
+            children[cross_rows] = crossed
         # Point mutation: one random gene to one random frequency.
         do_mutate = rng.random(parent_count) < config.mutation_rate
         positions = rng.integers(0, n_stages, size=parent_count)

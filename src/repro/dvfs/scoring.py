@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.batching import batched_cold_path_enabled
 from repro.dvfs.preprocessing import Stage
 from repro.errors import StrategyError
 from repro.perf.model import WorkloadPerformanceModel
@@ -106,8 +107,8 @@ class StrategyScorer:
         self._stage_time = np.zeros((n_stages, n_freqs))
         self._stage_aicore_energy = np.zeros((n_stages, n_freqs))
         self._stage_soc_energy = np.zeros((n_stages, n_freqs))
-        entries = trace.entries
-        names_cache: dict[int, str] = {}
+        # One per-trace name list, hoisted out of the per-stage loop.
+        all_names = [entry.spec.name for entry in trace.entries]
         # Idle power depends only on the frequency grid, not on the stage:
         # build both vectors once instead of per stage.
         idle_ai = np.array(
@@ -122,27 +123,14 @@ class StrategyScorer:
                 for f, v in zip(self._freqs, self._volts)
             ]
         )
-        for j, stage in enumerate(self._stages):
-            names = [
-                names_cache.setdefault(i, entries[i].spec.name)
-                for i in stage.op_indices
-            ]
-            if names:
-                times = perf_model.duration_matrix(names, self._freqs)
-                p_ai = power_table.aicore_power_matrix(names, self._freqs)
-                p_soc = power_table.soc_power_matrix(names, self._freqs)
-                self._stage_time[j] = times.sum(axis=0)
-                self._stage_aicore_energy[j] = (times * p_ai).sum(axis=0)
-                self._stage_soc_energy[j] = (times * p_soc).sum(axis=0)
-            # Idle spans inside the stage (host gaps, pure-gap stages) are
-            # frequency-independent: their length is the measured baseline
-            # stage duration minus the operators' time at the baseline
-            # (maximum) frequency, and they draw idle power.
-            op_time = self._stage_time[j].copy()
-            idle_time = max(0.0, stage.duration_us - float(op_time[-1]))
-            self._stage_time[j] = op_time + idle_time
-            self._stage_aicore_energy[j] += idle_time * idle_ai
-            self._stage_soc_energy[j] += idle_time * idle_soc
+        if batched_cold_path_enabled():
+            self._build_tables_grouped(
+                all_names, perf_model, power_table, idle_ai, idle_soc
+            )
+        else:
+            self._build_tables_reference(
+                all_names, perf_model, power_table, idle_ai, idle_soc
+            )
 
         # Baseline: everything at the maximum frequency.
         baseline = self.evaluate(
@@ -154,6 +142,90 @@ class StrategyScorer:
             if objective == "aicore"
             else baseline.soc_watts[0]
         )
+
+    def _build_tables_reference(
+        self,
+        all_names: list[str],
+        perf_model: WorkloadPerformanceModel,
+        power_table: OperatorPowerTable,
+        idle_ai: np.ndarray,
+        idle_soc: np.ndarray,
+    ) -> None:
+        """Per-stage table construction (the scalar reference path)."""
+        for j, stage in enumerate(self._stages):
+            names = [all_names[i] for i in stage.op_indices]
+            if names:
+                times = perf_model.duration_matrix(names, self._freqs)
+                p_ai = power_table.aicore_power_matrix(names, self._freqs)
+                p_soc = power_table.soc_power_matrix(names, self._freqs)
+                self._stage_time[j] = times.sum(axis=0)
+                self._stage_aicore_energy[j] = (times * p_ai).sum(axis=0)
+                self._stage_soc_energy[j] = (times * p_soc).sum(axis=0)
+            self._add_stage_idle(j, stage, idle_ai, idle_soc)
+
+    def _build_tables_grouped(
+        self,
+        all_names: list[str],
+        perf_model: WorkloadPerformanceModel,
+        power_table: OperatorPowerTable,
+        idle_ai: np.ndarray,
+        idle_soc: np.ndarray,
+    ) -> None:
+        """Grouped table construction (the batched cold path).
+
+        The per-stage loop evaluates the duration/power matrices once per
+        stage *occurrence* of a name; here each distinct name gets one
+        row — duration, power, and their products — and stages gather
+        their rows and reduce.  The gathered rows carry the exact same
+        values the per-stage matrices would, and the reduction is the
+        same ``sum(axis=0)`` over the same row order, so the tables are
+        bit-identical (deliberately NOT ``np.add.reduceat``, whose
+        pairwise summation splits differ from ``sum`` on a gathered
+        block).
+        """
+        uniq: dict[str, int] = {}
+        stage_rows: list[np.ndarray] = []
+        for stage in self._stages:
+            stage_rows.append(
+                np.array(
+                    [
+                        uniq.setdefault(all_names[i], len(uniq))
+                        for i in stage.op_indices
+                    ],
+                    dtype=np.intp,
+                )
+            )
+        if uniq:
+            names = list(uniq)
+            t_rows = perf_model.duration_matrix(names, self._freqs)
+            p_ai_rows = power_table.aicore_power_matrix(names, self._freqs)
+            p_soc_rows = power_table.soc_power_matrix(names, self._freqs)
+            ta_rows = t_rows * p_ai_rows
+            ts_rows = t_rows * p_soc_rows
+        for j, stage in enumerate(self._stages):
+            rows = stage_rows[j]
+            if rows.size:
+                self._stage_time[j] = t_rows[rows].sum(axis=0)
+                self._stage_aicore_energy[j] = ta_rows[rows].sum(axis=0)
+                self._stage_soc_energy[j] = ts_rows[rows].sum(axis=0)
+            self._add_stage_idle(j, stage, idle_ai, idle_soc)
+
+    def _add_stage_idle(
+        self,
+        j: int,
+        stage: Stage,
+        idle_ai: np.ndarray,
+        idle_soc: np.ndarray,
+    ) -> None:
+        # Idle spans inside the stage (host gaps, pure-gap stages) are
+        # frequency-independent: their length is the measured baseline
+        # stage duration minus the operators' time at the baseline
+        # (maximum) frequency, and they draw idle power.
+        op_time = self._stage_time[j].copy()
+        idle_time = max(0.0, stage.duration_us - float(op_time[-1]))
+        self._stage_time[j] = op_time + idle_time
+        self._stage_aicore_energy[j] += idle_time * idle_ai
+        self._stage_soc_energy[j] += idle_time * idle_soc
 
     @property
     def stage_count(self) -> int:

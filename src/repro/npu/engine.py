@@ -261,11 +261,59 @@ class CompiledTrace:
         """Frequency columns built so far."""
         return len(self._columns)
 
+    @property
+    def unique_specs(self) -> list:
+        """One representative spec per distinct operator character."""
+        return self._uniq_specs
+
+    @property
+    def unique_index(self) -> np.ndarray:
+        """Per-operator row index into :attr:`unique_specs`."""
+        return self._uniq_idx
+
     def evaluation_for(self, op_index: int, freq_mhz: float):
         """The (memoised) ground-truth evaluation backing a record."""
         return self._evaluator.evaluate(
             self._trace.entries[op_index].spec, freq_mhz
         )
+
+    def unique_grid(self, freqs_mhz: Sequence[float]):
+        """Vectorised unique-spec evaluation over a whole frequency grid.
+
+        Returns a :class:`repro.npu.vectoreval.UniqueSpecGrid` and installs
+        any missing per-frequency columns from it (bit-identical to the
+        scalar :meth:`column` build, which stays as the reference path).
+        """
+        from repro.npu.vectoreval import evaluate_unique_grid
+
+        grid = evaluate_unique_grid(self._evaluator, self._uniq_specs, freqs_mhz)
+        idx = self._uniq_idx
+        for j, freq in enumerate(grid.freqs_mhz):
+            if freq in self._columns:
+                continue
+            self._columns[freq] = _FreqColumn(
+                freq_mhz=freq,
+                dur=grid.dur[idx, j],
+                a0=grid.a_cold[idx, j],
+                ga=grid.ga[idx, j],
+                s0=grid.s_cold[idx, j],
+                gs=grid.gs[idx, j],
+                idle_a0=float(grid.idle_a0[j]),
+                idle_ga=float(grid.idle_ga[j]),
+                idle_s0=float(grid.idle_s0[j]),
+                idle_gs=float(grid.idle_gs[j]),
+            )
+        return grid
+
+    def prime_columns(self, freqs_mhz: Sequence[float]) -> None:
+        """Batch-build any missing frequency columns in one pass."""
+        missing = [
+            f
+            for f in dict.fromkeys(float(f) for f in freqs_mhz)
+            if f not in self._columns
+        ]
+        if missing:
+            self.unique_grid(missing)
 
     def column(self, freq_mhz: float) -> _FreqColumn:
         """The per-operator tables at one frequency (built on first use)."""

@@ -107,6 +107,11 @@ class CannStyleProfiler:
         self._npu = npu
         self._rng = rng
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The instrument's noise stream (shared with grid profiling)."""
+        return self._rng
+
     def profile(self, result: ExecutionResult) -> ProfileReport:
         """Observe one execution and report noisy per-operator data.
 

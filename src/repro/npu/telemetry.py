@@ -47,6 +47,11 @@ class PowerTelemetry:
         self._npu = npu
         self._rng = rng
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The instrument's noise stream (shared with grid profiling)."""
+        return self._rng
+
     def sample_chunks(
         self, chunks: Sequence[PowerChunk], interval_us: float = 1000.0
     ) -> list[PowerSample]:

@@ -197,10 +197,99 @@ def fit_func3(
     return PerformanceFit(FitFunction.EXPONENTIAL, params_out)
 
 
+def _validate_batch(
+    freqs_mhz: Sequence[float], times_us: np.ndarray, needed: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared argument handling for the stacked fitters.
+
+    Returns ``(f, t, valid)`` with frequencies ascending (the scalar
+    ``_validate_samples`` sort), times reordered to match, and ``valid``
+    marking the rows the scalar fitter would have accepted — a row with a
+    non-positive time is exactly the case where ``fit_performance`` raises
+    :class:`FittingError` and the model builder degrades to a constant.
+    """
+    f = np.asarray(freqs_mhz, dtype=float)
+    t = np.atleast_2d(np.asarray(times_us, dtype=float))
+    if t.shape[1] != f.size:
+        raise FittingError(f"shape mismatch: {f.shape} vs {t.shape}")
+    if np.unique(f).size < needed or np.any(f <= 0):
+        return f, t, np.zeros(t.shape[0], dtype=bool)
+    order = np.argsort(f)
+    valid = np.all(t > 0.0, axis=1)
+    return f[order], t[:, order], valid
+
+
+def fit_func2_batch(
+    freqs_mhz: Sequence[float], times_us: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit Func. 2 for many operators at once (stacked closed form).
+
+    ``times_us`` is an ``(n_ops, n_freqs)`` matrix of measured durations,
+    all rows sharing the same frequency points.  Two points solve the 2x2
+    system in closed form per row; three or more become one multi-RHS
+    ``lstsq`` on the ``(f, 1/f)`` basis.  Both reproduce the scalar
+    :func:`fit_func2` parameters bit for bit (``lstsq`` factorises the
+    design once and back-substitutes per column, which is the same
+    floating-point work as one call per column).
+
+    Returns:
+        ``(params, valid)``: an ``(n_ops, 2)`` parameter matrix and the
+        rows the scalar path would have fitted (non-positive times fall
+        back to a constant predictor, like the scalar ``FittingError``).
+    """
+    f, t, valid = _validate_batch(freqs_mhz, times_us, needed=2)
+    if not valid.any():
+        return np.zeros((t.shape[0], 2)), valid
+    if f.size == 2:
+        f1, f2 = float(f[0]), float(f[1])
+        t1, t2 = t[:, 0], t[:, 1]
+        a = (t2 * f2 - t1 * f1) / (f2 * f2 - f1 * f1)
+        c = t1 * f1 - a * f1 * f1
+        params = np.column_stack([a, c])
+    else:
+        design = np.column_stack([f, 1.0 / f])
+        solution, *_ = np.linalg.lstsq(design, t.T, rcond=None)
+        params = solution.T
+    return params, valid
+
+
+def fit_func1_batch(
+    freqs_mhz: Sequence[float], times_us: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit Func. 1 for many operators at once via linear least squares.
+
+    ``T(f) = (a f^2 + b f + c) / f = a f + b + c / f`` is *linear* in its
+    parameters, so the iterative ``curve_fit`` of the scalar path is
+    unnecessary: one multi-RHS ``lstsq`` on the ``(f, 1, 1/f)`` basis —
+    against ``T`` directly, preserving the reference's least-squares
+    weighting — solves every operator simultaneously.  With exactly three
+    points both paths interpolate the samples exactly, so predictions
+    agree with the ``curve_fit`` reference to ~1e-12 relative (the
+    equivalence suite pins <= 1e-9).
+
+    Returns:
+        ``(params, valid)`` like :func:`fit_func2_batch`, with an
+        ``(n_ops, 3)`` parameter matrix.
+    """
+    f, t, valid = _validate_batch(freqs_mhz, times_us, needed=3)
+    if not valid.any():
+        return np.zeros((t.shape[0], 3)), valid
+    design = np.column_stack([f, np.ones_like(f), 1.0 / f])
+    solution, *_ = np.linalg.lstsq(design, t.T, rcond=None)
+    return solution.T, valid
+
+
 _FITTERS = {
     FitFunction.QUADRATIC: fit_func1,
     FitFunction.QUADRATIC_NO_LINEAR: fit_func2,
     FitFunction.EXPONENTIAL: fit_func3,
+}
+
+#: Stacked fitters for the batched cold path (Func. 3 keeps scipy — it
+#: reproduces a negative result and is off the hot path).
+BATCH_FITTERS = {
+    FitFunction.QUADRATIC: fit_func1_batch,
+    FitFunction.QUADRATIC_NO_LINEAR: fit_func2_batch,
 }
 
 

@@ -19,10 +19,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.batching import batched_cold_path_enabled
 from repro.errors import FittingError, ProfilingError
 from repro.npu.operators import OperatorKind
 from repro.npu.profiler import ProfileReport, merge_reports
 from repro.perf.fitting import (
+    BATCH_FITTERS,
     FitFunction,
     PerformanceFit,
     fit_performance,
@@ -86,22 +88,56 @@ class WorkloadPerformanceModel:
         """Matrix of predicted durations, shape ``(len(names), len(freqs))``.
 
         This is the lookup table the genetic-algorithm scoring uses.
+        With the batched cold path enabled, rows sharing a surrogate
+        function are evaluated as one stacked broadcast; the element
+        operations (and their association order) match the per-row
+        ``predict_time_us`` exactly, so the matrix is bit-identical.
         """
         freqs = np.asarray(list(freqs_mhz), dtype=float)
         matrix = np.empty((len(names), freqs.size), dtype=float)
-        for i, name in enumerate(names):
+        models = []
+        for name in names:
             try:
-                model = self.operators[name]
+                models.append(self.operators[name])
             except KeyError:
                 raise FittingError(
                     f"no performance model for operator {name!r}"
                 ) from None
-            if model.fit is None:
+        if not batched_cold_path_enabled():
+            for i, model in enumerate(models):
+                if model.fit is None:
+                    matrix[i, :] = model.constant_us
+                else:
+                    # One vectorised surrogate evaluation per operator row
+                    # instead of a scalar call per (operator, freq) cell.
+                    matrix[i, :] = model.fit.predict_time_us(freqs)
+            return matrix
+        if np.any(freqs <= 0):
+            raise FittingError("frequency must be positive")
+        func1_rows: list[int] = []
+        func1_params: list[tuple[float, ...]] = []
+        func2_rows: list[int] = []
+        func2_params: list[tuple[float, ...]] = []
+        for i, model in enumerate(models):
+            fit = model.fit
+            if fit is None:
                 matrix[i, :] = model.constant_us
+            elif fit.function is FitFunction.QUADRATIC_NO_LINEAR:
+                func2_rows.append(i)
+                func2_params.append(fit.params)
+            elif fit.function is FitFunction.QUADRATIC:
+                func1_rows.append(i)
+                func1_params.append(fit.params)
             else:
-                # One vectorised surrogate evaluation per operator row
-                # instead of a scalar call per (operator, frequency) cell.
-                matrix[i, :] = model.fit.predict_time_us(freqs)
+                matrix[i, :] = fit.predict_time_us(freqs)
+        if func2_rows:
+            p = np.array(func2_params)
+            a, c = p[:, :1], p[:, 1:]
+            matrix[func2_rows] = (a * freqs * freqs + c) / freqs
+        if func1_rows:
+            p = np.array(func1_params)
+            a, b, c = p[:, :1], p[:, 1:2], p[:, 2:]
+            matrix[func1_rows] = (a * freqs * freqs + b * freqs + c) / freqs
         return matrix
 
 
@@ -183,6 +219,79 @@ def build_performance_model(
         )
     return WorkloadPerformanceModel(
         trace_name=ordered[0].trace_name,
+        function=function,
+        fit_freqs_mhz=tuple(chosen),
+        operators=operators,
+    )
+
+
+def build_performance_model_batched(
+    data,
+    function: FitFunction = FitFunction.QUADRATIC_NO_LINEAR,
+    fit_freqs_mhz: Sequence[float] | None = None,
+) -> WorkloadPerformanceModel:
+    """Batched equivalent of :func:`build_performance_model`.
+
+    Consumes the per-operator duration matrix of one grid-profiling pass
+    (:class:`repro.npu.gridprofile.GridProfileData`) instead of walking
+    ``ProfileReport`` objects: per-name means are grouped ``bincount``
+    sums, and all operators are fitted at once with the stacked fitters
+    of :mod:`repro.perf.fitting`.  For Func. 2 the resulting parameters —
+    and therefore every downstream prediction — are bit-identical to the
+    scalar builder; Func. 1 replaces ``curve_fit`` with the exact linear
+    least-squares solution (<= 1e-9 relative).  Func. 3 is not batched:
+    callers keep the reference builder for it.
+
+    Raises:
+        FittingError: for Func. 3, or too few frequencies.
+        ProfilingError: if a requested fit frequency was not profiled.
+    """
+    if function not in BATCH_FITTERS:
+        raise FittingError(f"{function.value} has no batched fitter")
+    available = [float(f) for f in data.freqs_mhz]
+    if fit_freqs_mhz is None:
+        chosen = select_fit_frequencies(available, function)
+    else:
+        chosen = [float(f) for f in fit_freqs_mhz]
+        missing = set(chosen) - set(available)
+        if missing:
+            raise ProfilingError(
+                f"requested fit frequencies {sorted(missing)} not profiled "
+                f"(available: {available})"
+            )
+    n_names = data.name_count
+    counts = np.bincount(data.name_ids, minlength=n_names)
+    cols = [available.index(f) for f in chosen]
+    # Per-name mean durations, accumulated in trace order exactly like
+    # ``ProfileReport.durations_by_name`` (bincount sums sequentially).
+    times = np.empty((n_names, len(chosen)))
+    for out_col, col in enumerate(cols):
+        sums = np.bincount(
+            data.name_ids,
+            weights=data.durations[:, col],
+            minlength=n_names,
+        )
+        times[:, out_col] = sums / counts
+    mean_durations = np.mean(times, axis=1)
+
+    params, valid = BATCH_FITTERS[function](chosen, times)
+    params_l = params.tolist()
+    valid_l = valid.tolist()
+    means_l = mean_durations.tolist()
+    operators: dict[str, OperatorPerformanceModel] = {}
+    for i, name in enumerate(data.names):
+        fit = None
+        if data.kinds[i] is OperatorKind.COMPUTE and valid_l[i]:
+            fit = PerformanceFit(function, tuple(params_l[i]))
+        operators[name] = OperatorPerformanceModel(
+            name=name,
+            op_type=data.op_types[i],
+            kind=data.kinds[i],
+            fit=fit,
+            constant_us=means_l[i],
+        )
+    return WorkloadPerformanceModel(
+        trace_name=data.trace_name,
         function=function,
         fit_freqs_mhz=tuple(chosen),
         operators=operators,

@@ -133,6 +133,40 @@ def solve_alpha(
     return alpha_aicore, alpha_soc
 
 
+def solve_alpha_batch(
+    freq_mhz: float,
+    aicore_watts: np.ndarray,
+    soc_watts: np.ndarray,
+    constants: CalibrationConstants,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised Eq. (14) over many loads at one frequency.
+
+    Element ``i`` reproduces ``solve_alpha`` on the ``i``-th load bit for
+    bit: the per-frequency scalars (volts, idle predictions) are computed
+    once and the subtraction chain keeps the scalar associativity.
+
+    Raises:
+        CalibrationError: on a non-positive ``f V^2`` operating point.
+    """
+    volts = constants.volts(freq_mhz)
+    f_ghz = freq_mhz / 1000.0
+    fv2 = f_ghz * volts * volts
+    if fv2 <= 0:
+        raise CalibrationError(f"bad operating point: f={freq_mhz}")
+    delta = constants.k_celsius_per_watt * soc_watts
+    alpha_aicore = (
+        aicore_watts
+        - constants.aicore_idle.predict(freq_mhz, volts)
+        - constants.gamma_aicore_w_per_c_v * delta * volts
+    ) / fv2
+    alpha_soc = (
+        soc_watts
+        - constants.soc_idle.predict(freq_mhz, volts)
+        - constants.gamma_soc_w_per_c_v * delta * volts
+    ) / fv2
+    return alpha_aicore, alpha_soc
+
+
 def fit_load_power_model(
     name: str,
     observations: Sequence[PowerObservation],

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import CalibrationError
 from repro.power.calibration import CalibrationConstants
-from repro.power.model import PowerObservation, solve_alpha
+from repro.power.model import PowerObservation, solve_alpha, solve_alpha_batch
 
 
 @dataclass(frozen=True)
@@ -72,17 +72,49 @@ class OperatorPowerTable:
         """SoC power (active + idle, no thermal term) per (op, freq)."""
         return self._power_matrix(names, freqs_mhz, soc=True)
 
+    def _grid_vectors(
+        self, freqs_key: tuple[float, ...]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached per-grid ``(f V^2, aicore idle, soc idle)`` vectors.
+
+        The scorer asks for power matrices over the same frequency grid
+        once per stage; the voltage lookups and idle-fit predictions only
+        depend on the grid, so they are computed once per distinct grid
+        and reused (lazily attached — the table is a frozen dataclass).
+        """
+        cache: dict | None = getattr(self, "_grid_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_grid_cache", cache)
+        vectors = cache.get(freqs_key)
+        if vectors is None:
+            constants = self.constants
+            freqs = np.asarray(freqs_key, dtype=float)
+            volts = np.array([constants.volts(f) for f in freqs])
+            fv2 = (freqs / 1000.0) * volts * volts
+            idle_aicore = np.array(
+                [
+                    constants.aicore_idle.predict(f, v)
+                    for f, v in zip(freqs, volts)
+                ]
+            )
+            idle_soc = np.array(
+                [
+                    constants.soc_idle.predict(f, v)
+                    for f, v in zip(freqs, volts)
+                ]
+            )
+            vectors = (fv2, idle_aicore, idle_soc)
+            cache[freqs_key] = vectors
+        return vectors
+
     def _power_matrix(
         self, names: Sequence[str], freqs_mhz: Sequence[float], soc: bool
     ) -> np.ndarray:
-        constants = self.constants
-        freqs = np.asarray(freqs_mhz, dtype=float)
-        volts = np.array([constants.volts(f) for f in freqs])
-        fv2 = (freqs / 1000.0) * volts * volts
-        idle_fit = constants.soc_idle if soc else constants.aicore_idle
-        idle = np.array(
-            [idle_fit.predict(f, v) for f, v in zip(freqs, volts)]
+        fv2, idle_aicore, idle_soc = self._grid_vectors(
+            tuple(float(f) for f in freqs_mhz)
         )
+        idle = idle_soc if soc else idle_aicore
         alphas = np.array(
             [
                 self.entry(name).alpha_soc if soc else self.entry(name).alpha_aicore
@@ -136,4 +168,56 @@ def build_operator_power_table(
         entries[name] = OperatorPowerEntry(
             name=name, alpha_aicore=alpha_aicore, alpha_soc=alpha_soc
         )
+    return OperatorPowerTable(constants=constants, entries=entries)
+
+
+def build_operator_power_table_batched(
+    readings_by_freq: Mapping[float, Mapping[str, tuple[float, float]]],
+    constants: CalibrationConstants,
+) -> OperatorPowerTable:
+    """Batched equivalent of :func:`build_operator_power_table`.
+
+    Solves Eq. (14) for all operators at once, one vectorised pass per
+    reference frequency, then averages and clamps exactly like the scalar
+    loop — the per-name alphas are bit-identical (entry *order* is
+    first-appearance instead of set order, which nothing downstream
+    observes: lookups are by name).
+
+    Requires every frequency to cover the same operator names (always
+    true for the healthy cold path, which profiles the same trace at each
+    point); ragged readings fall back to the scalar builder, which
+    handles partially-observed operators.
+
+    Raises:
+        CalibrationError: if no readings are given.
+    """
+    if not readings_by_freq:
+        raise CalibrationError("no power readings given")
+    names: dict[str, None] = {}
+    for readings in readings_by_freq.values():
+        for name in readings:
+            names.setdefault(name, None)
+    name_list = list(names)
+    for readings in readings_by_freq.values():
+        if len(readings) != len(name_list):
+            return build_operator_power_table(readings_by_freq, constants)
+    n_freqs = len(readings_by_freq)
+    estimates_a = np.empty((len(name_list), n_freqs))
+    estimates_s = np.empty((len(name_list), n_freqs))
+    for j, (freq, readings) in enumerate(readings_by_freq.items()):
+        aicore = np.array([readings[name][0] for name in name_list])
+        soc = np.array([readings[name][1] for name in name_list])
+        alpha_a, alpha_s = solve_alpha_batch(freq, aicore, soc, constants)
+        estimates_a[:, j] = alpha_a
+        estimates_s[:, j] = alpha_s
+    alpha_aicore = np.maximum(0.0, np.mean(estimates_a, axis=1))
+    alpha_soc = np.maximum(0.0, np.mean(estimates_s, axis=1))
+    aicore_l = alpha_aicore.tolist()
+    soc_l = alpha_soc.tolist()
+    entries = {
+        name: OperatorPowerEntry(
+            name=name, alpha_aicore=aicore_l[i], alpha_soc=soc_l[i]
+        )
+        for i, name in enumerate(name_list)
+    }
     return OperatorPowerTable(constants=constants, entries=entries)

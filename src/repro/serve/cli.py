@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--iterations", type=int, default=120, help="GA iterations"
     )
+    parser.add_argument(
+        "--patience",
+        type=int,
+        default=0,
+        help=(
+            "stop a GA miss after this many generations without "
+            "improvement (0 = run the full iteration budget, the default)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0, help="root seed")
     return parser
 
@@ -84,6 +93,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.patience < 0:
+        parser.error("--patience must be >= 0")
     config = OptimizerConfig(
         performance_loss_target=args.target,
         ga=GaConfig(
@@ -92,7 +103,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
         ),
         seed=args.seed,
-    )
+    ).with_patience(args.patience)
     store = StrategyStore(Path(args.store))
     try:
         traces = [

@@ -65,6 +65,11 @@ class ServiceStats:
     ga_runs: int = 0
     total_latency_seconds: float = 0.0
     ga_seconds: float = 0.0
+    #: Generations actually run across all GA misses.
+    ga_generations: int = 0
+    #: Generations saved by ``GaConfig.patience`` early stopping (the
+    #: configured iteration budget minus the generations actually run).
+    ga_generations_trimmed: int = 0
 
     @property
     def hits(self) -> int:
@@ -105,6 +110,11 @@ class ServiceStats:
             {"counter": "disk_hits", "value": self.disk_hits},
             {"counter": "coalesced", "value": self.coalesced},
             {"counter": "ga_runs", "value": self.ga_runs},
+            {"counter": "ga_generations", "value": self.ga_generations},
+            {
+                "counter": "ga_generations_trimmed",
+                "value": self.ga_generations_trimmed,
+            },
             {"counter": "hit_rate", "value": f"{self.hit_rate:.2%}"},
             {"counter": "mean_latency_s", "value": f"{mean_latency:.6f}"},
             {"counter": "ga_seconds", "value": f"{self.ga_seconds:.3f}"},
@@ -261,6 +271,10 @@ class StrategyService:
         )
         self.stats.ga_runs += 1
         self.stats.ga_seconds += result.wall_seconds
+        self.stats.ga_generations += result.ga_generations
+        self.stats.ga_generations_trimmed += max(
+            0, self.config.ga.iterations - result.ga_generations
+        )
 
     def _finish(
         self,

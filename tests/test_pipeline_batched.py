@@ -1,0 +1,363 @@
+"""Equivalence suite for the batched cold-path pipeline.
+
+The batched implementations (one-pass grid profiling, stacked model
+fitting, grouped scorer tables, vectorised GA crossover) must reproduce
+the scalar reference paths bit for bit — or, where a different-but-exact
+algorithm replaces an iterative one (Func. 1's linear least squares vs
+``curve_fit``), to within 1e-9 relative.  Property-based tests draw
+random operating points; the pipeline-level tests run both arms of the
+real optimizer and compare everything downstream of the noise streams.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import batching
+from repro.core.config import OptimizerConfig
+from repro.core.optimizer import EnergyOptimizer
+from repro.dvfs.ga import GaConfig, run_search
+from repro.dvfs.scoring import StrategyScorer
+from repro.perf.fitting import (
+    BATCH_FITTERS,
+    FitFunction,
+    fit_func1_batch,
+    fit_func2_batch,
+    fit_performance,
+)
+from repro.perf.model import build_performance_model_batched
+from repro.power.model import PowerObservation, solve_alpha, solve_alpha_batch
+from repro.workloads import generate
+
+GRID3 = (1000.0, 1400.0, 1800.0)
+GRID2 = (1000.0, 1800.0)
+
+durations3 = st.tuples(
+    st.floats(0.5, 5000.0),
+    st.floats(0.5, 5000.0),
+    st.floats(0.5, 5000.0),
+)
+
+
+@pytest.fixture(scope="module")
+def constants():
+    """One offline calibration, shared by the alpha-solve tests."""
+    return EnergyOptimizer(OptimizerConfig()).calibrate()
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One profiled+modelled gpt3 pipeline under the batched cold path."""
+    trace = generate("gpt3", scale=0.02)
+    config = OptimizerConfig()
+    optimizer = EnergyOptimizer(config)
+    bundle = optimizer.profile(trace)
+    models = optimizer.build_models(bundle)
+    candidates = optimizer.preprocess(bundle)
+    return trace, config, bundle, models, candidates
+
+
+def _scorer(pipeline_parts):
+    trace, config, _, models, candidates = pipeline_parts
+    return StrategyScorer(
+        trace=trace,
+        stages=candidates.stages,
+        perf_model=models.performance,
+        power_table=models.power,
+        freqs_mhz=config.npu.frequencies.points,
+        performance_loss_target=config.performance_loss_target,
+        objective=config.objective,
+    )
+
+
+class TestBatchedFitters:
+    @given(st.lists(durations3, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_func2_three_point_bitwise(self, rows):
+        times = np.array(rows)
+        params, valid = fit_func2_batch(GRID3, times)
+        assert bool(valid.all())
+        for i, row in enumerate(rows):
+            scalar = fit_performance(
+                GRID3, list(row), FitFunction.QUADRATIC_NO_LINEAR
+            )
+            assert tuple(params[i]) == scalar.params
+
+    @given(st.lists(st.tuples(st.floats(0.5, 5000.0), st.floats(0.5, 5000.0)), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_func2_two_point_bitwise(self, rows):
+        times = np.array(rows)
+        params, valid = fit_func2_batch(GRID2, times)
+        assert bool(valid.all())
+        for i, row in enumerate(rows):
+            scalar = fit_performance(
+                GRID2, list(row), FitFunction.QUADRATIC_NO_LINEAR
+            )
+            assert tuple(params[i]) == scalar.params
+
+    @given(st.lists(durations3, min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_func1_matches_curve_fit_within_tolerance(self, rows):
+        times = np.array(rows)
+        params, valid = fit_func1_batch(GRID3, times)
+        assert bool(valid.all())
+        grid = np.linspace(1000.0, 1800.0, 9)
+        f = np.asarray(GRID3)
+        basis = np.column_stack([f, np.ones_like(f), 1.0 / f])
+        for i, row in enumerate(rows):
+            # Func. 1 is linear in its parameters, so the batched fit must
+            # be the exact least-squares optimum: compare against an
+            # independent normal-equations solve at 1e-9.
+            exact = np.linalg.solve(
+                basis.T @ basis, basis.T @ np.asarray(row)
+            )
+            scalar = fit_performance(GRID3, list(row), FitFunction.QUADRATIC)
+            batched_fit = scalar.__class__(
+                FitFunction.QUADRATIC, tuple(float(p) for p in params[i])
+            )
+            exact_fit = scalar.__class__(
+                FitFunction.QUADRATIC, tuple(float(p) for p in exact)
+            )
+            got = batched_fit.predict_time_us(grid)
+            want = exact_fit.predict_time_us(grid)
+            rel = np.abs(got - want) / np.maximum(np.abs(want), 1e-300)
+            assert float(rel.max()) <= 1e-9
+            # curve_fit is iterative; its own xtol dominates this bound.
+            approx = scalar.predict_time_us(grid)
+            rel = np.abs(got - approx) / np.maximum(np.abs(approx), 1e-300)
+            assert float(rel.max()) <= 1e-6
+
+    def test_invalid_samples_masked_not_raised(self):
+        times = np.array([[10.0, 8.0, 6.0], [0.0, 8.0, 6.0]])
+        params, valid = fit_func2_batch(GRID3, times)
+        assert valid.tolist() == [True, False]
+        params, valid = fit_func1_batch(GRID3, times)
+        assert valid.tolist() == [True, False]
+
+    def test_func3_has_no_batch_fitter(self):
+        assert FitFunction.EXPONENTIAL not in BATCH_FITTERS
+
+
+class TestBatchedAlphaSolve:
+    @given(
+        st.lists(
+            st.tuples(st.floats(5.0, 400.0), st.floats(10.0, 500.0)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sampled_from([1000.0, 1400.0, 1800.0]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bitwise_vs_scalar(self, constants, rows, freq):
+        aicore = np.array([a for a, _ in rows])
+        soc = np.array([s for _, s in rows])
+        alpha_a, alpha_s = solve_alpha_batch(freq, aicore, soc, constants)
+        for i, (a, s) in enumerate(rows):
+            obs = PowerObservation(freq_mhz=freq, aicore_watts=a, soc_watts=s)
+            exp_a, exp_s = solve_alpha(obs, constants)
+            assert float(alpha_a[i]) == exp_a
+            assert float(alpha_s[i]) == exp_s
+
+
+class TestOnePassProfiling:
+    def test_reports_and_readings_match_sequential(self):
+        trace = generate("bert", scale=0.02)
+
+        def profile(flagged):
+            batching.set_batched_cold_path(flagged)
+            try:
+                return EnergyOptimizer(OptimizerConfig()).profile(trace)
+            finally:
+                batching.set_batched_cold_path(True)
+
+        batched = profile(True)
+        reference = profile(False)
+        assert batched.grid is not None
+        assert reference.grid is None
+        assert len(batched.reports) == len(reference.reports)
+        for got, want in zip(batched.reports, reference.reports):
+            assert got.freq_label_mhz == want.freq_label_mhz
+            assert got.trace_name == want.trace_name
+            assert got.total_duration_us == want.total_duration_us
+            assert got.operators == want.operators
+        assert batched.power_readings == reference.power_readings
+        assert (
+            batched.baseline_report.operators
+            == reference.baseline_report.operators
+        )
+
+    def test_grid_durations_match_reports(self, pipeline):
+        _, config, bundle, _, _ = pipeline
+        grid = bundle.grid
+        assert grid is not None
+        for col, freq in enumerate(grid.freqs_mhz):
+            report = next(
+                r for r in bundle.reports if r.freq_label_mhz == freq
+            )
+            measured = np.array([op.duration_us for op in report.operators])
+            assert np.array_equal(grid.durations[:, col], measured)
+
+    def test_batched_model_matches_scalar_model(self, pipeline):
+        _, config, bundle, models, _ = pipeline
+        from repro.perf.model import build_performance_model
+
+        scalar = build_performance_model(
+            list(bundle.reports),
+            function=config.fit_function,
+            fit_freqs_mhz=config.profile_freqs_mhz,
+        )
+        batched = build_performance_model_batched(
+            bundle.grid,
+            function=config.fit_function,
+            fit_freqs_mhz=config.profile_freqs_mhz,
+        )
+        assert set(scalar.operators) == set(batched.operators)
+        for name, want in scalar.operators.items():
+            got = batched.operators[name]
+            assert got.constant_us == want.constant_us
+            assert got.kind is want.kind
+            if want.fit is None:
+                assert got.fit is None
+            else:
+                assert got.fit.params == want.fit.params
+
+
+class TestGroupedScorer:
+    def test_tables_bitwise_vs_per_stage_loop(self, pipeline):
+        batching.set_batched_cold_path(False)
+        try:
+            reference = _scorer(pipeline)
+        finally:
+            batching.set_batched_cold_path(True)
+        grouped = _scorer(pipeline)
+        for attr in (
+            "_stage_time",
+            "_stage_aicore_energy",
+            "_stage_soc_energy",
+        ):
+            assert np.array_equal(
+                getattr(reference, attr), getattr(grouped, attr)
+            )
+        assert reference.baseline_time_us == grouped.baseline_time_us
+
+    def test_population_scores_identical(self, pipeline):
+        batching.set_batched_cold_path(False)
+        try:
+            reference = _scorer(pipeline)
+        finally:
+            batching.set_batched_cold_path(True)
+        grouped = _scorer(pipeline)
+        rng = np.random.default_rng(123)
+        population = rng.integers(
+            0,
+            grouped.frequency_count,
+            size=(64, grouped.stage_count),
+        )
+        assert np.array_equal(
+            reference.score(population), grouped.score(population)
+        )
+
+
+class TestGaRegression:
+    """The vectorised crossover must not move a single gene."""
+
+    PINNED = {
+        0: "d2ddbe07d0c95d661060e3a50ec1cdf23f0fcec2ac6c723e8fae582f185f9f50",
+        1: "3da80f03753967fedce6a89b385b543ce48f8169e8240bf291e63b4e26f65464",
+        2: "2f00d6e675149e616825eef21be634b00b382725fc1f2c04341c208fb0ed8105",
+    }
+    PINNED_GENES_SEED0 = [8, 3, 8, 8, 8, 3, 7, 8, 8, 8, 8, 6, 3, 8, 7, 7, 1]
+
+    def test_best_genes_pinned(self, pipeline):
+        trace, config, _, models, candidates = pipeline
+        scorer = _scorer(pipeline)
+        freqs = config.npu.frequencies.points
+        for seed, digest in self.PINNED.items():
+            result = run_search(
+                scorer,
+                candidates.stages,
+                freqs,
+                GaConfig(population_size=48, iterations=40, seed=seed),
+            )
+            got = hashlib.sha256(
+                np.ascontiguousarray(
+                    result.best_genes, dtype=np.int64
+                ).tobytes()
+            ).hexdigest()
+            assert got == digest, f"seed {seed} drifted"
+            if seed == 0:
+                assert result.best_genes.tolist() == self.PINNED_GENES_SEED0
+
+
+class TestEndToEndByteIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_optimize_batched_vs_reference(self, seed):
+        trace = generate("gpt3", scale=0.02)
+
+        def run(flagged):
+            batching.set_batched_cold_path(flagged)
+            try:
+                config = OptimizerConfig(
+                    ga=GaConfig(
+                        population_size=48, iterations=16, seed=seed
+                    ),
+                    seed=seed,
+                )
+                return EnergyOptimizer(config).optimize(trace)
+            finally:
+                batching.set_batched_cold_path(True)
+
+        batched = run(True)
+        reference = run(False)
+        assert (
+            batched.search.best_genes.tobytes()
+            == reference.search.best_genes.tobytes()
+        )
+        assert batched.search.best_score == reference.search.best_score
+        assert batched.predicted == reference.predicted
+        assert batched.under_dvfs == reference.under_dvfs
+
+
+class TestPatienceKnob:
+    def test_with_patience_copies_config(self):
+        config = OptimizerConfig()
+        assert config.ga.patience == 0
+        patient = config.with_patience(25)
+        assert patient.ga.patience == 25
+        assert config.ga.patience == 0
+        assert patient.ga.iterations == config.ga.iterations
+
+    def test_patience_changes_fingerprint(self):
+        from repro.serve.fingerprint import config_fingerprint
+
+        config = OptimizerConfig()
+        assert config_fingerprint(config) != config_fingerprint(
+            config.with_patience(10)
+        )
+
+    def test_service_counts_trimmed_generations(self, tmp_path):
+        from repro.serve.service import StrategyService
+        from repro.serve.store import StrategyStore
+
+        trace = generate("bert", scale=0.02)
+        config = OptimizerConfig(
+            ga=GaConfig(population_size=48, iterations=80, seed=0)
+        ).with_patience(8)
+        with StrategyService(
+            config=config, store=StrategyStore(tmp_path)
+        ) as service:
+            service.request(trace)
+            stats = service.stats
+            assert stats.ga_runs == 1
+            assert stats.ga_generations >= 1
+            assert (
+                stats.ga_generations + stats.ga_generations_trimmed
+                == config.ga.iterations
+            )
+            rows = {row["counter"]: row["value"] for row in stats.rows()}
+            assert rows["ga_generations_trimmed"] == (
+                stats.ga_generations_trimmed
+            )
