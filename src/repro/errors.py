@@ -81,3 +81,32 @@ class ServeError(ReproError):
     corruption) surface as invalidated records — callers only see this
     exception for genuine misuse (bad fingerprints, bad capacities).
     """
+
+
+class CorruptRecordError(ServeError):
+    """A store record is structurally damaged (truncated, garbled, not
+    an envelope at all).
+
+    Distinct from ordinary invalidation (schema or hash *drift*, which
+    deletes the stale record): corruption is evidence of a disk or
+    writer failure, so the store quarantines the file with a
+    ``.corrupt`` suffix for post-mortem instead of destroying it.
+    """
+
+
+class Overloaded(ServeError):
+    """The serving gateway refused a request instead of queueing it.
+
+    Typed (rather than a bool or a None result) so fleet callers can
+    distinguish *shed* from *failed* and apply backpressure — retry
+    with jitter, route to another replica, or drop.  ``reason`` is one
+    of ``"queue_full"``, ``"rate_limited"`` or ``"draining"``.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        self.detail = detail
+        message = f"request shed: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)

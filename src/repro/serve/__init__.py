@@ -19,8 +19,18 @@ amortizes the model/search cost across repeated queries:
 * :mod:`repro.serve.service` — the :class:`StrategyService` front door:
   deduplicates in-flight requests, serves cache hits in microseconds,
   and reports hit/miss/latency counters through :mod:`repro.core.report`.
+* :mod:`repro.serve.gateway` — the :class:`AsyncGateway` asyncio front
+  end: per-source token-bucket admission, a bounded dispatch queue with
+  typed :class:`~repro.errors.Overloaded` load shedding, coalescing
+  across concurrent awaiters, and graceful drain.
+* :mod:`repro.serve.shards` — :class:`ShardedStrategyStore`, the store
+  split across fingerprint-prefix shards (one lock each) with a
+  :mod:`repro.serve.hotmem` shared-memory hot tier in front of the disk.
 
-Warm a store from the shell with ``python -m repro.serve``.
+Warm a store from the shell with ``python -m repro.serve warm``; drive
+synthetic fleet traffic with ``python -m repro.serve bench-traffic``
+(see :mod:`repro.traffic`); inspect a store directory with
+``python -m repro.serve stats``.
 """
 
 from repro.serve.fingerprint import (
@@ -30,23 +40,32 @@ from repro.serve.fingerprint import (
     spec_fingerprint,
     trace_fingerprint,
 )
+from repro.serve.gateway import AsyncGateway, GatewayConfig, TokenBucket
+from repro.serve.hotmem import SharedMemoryHotTier
 from repro.serve.pool import OptimizerPool, PoolResult, derive_job_seed
 from repro.serve.service import ServeResult, ServiceStats, StrategyService
+from repro.serve.shards import ShardedStrategyStore, shard_index
 from repro.serve.store import STORE_SCHEMA_VERSION, StoreHit, StrategyStore
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "AsyncGateway",
+    "GatewayConfig",
     "OptimizerPool",
     "PoolResult",
     "ServeResult",
     "ServiceStats",
+    "SharedMemoryHotTier",
+    "ShardedStrategyStore",
     "StoreHit",
     "StrategyService",
     "StrategyStore",
+    "TokenBucket",
     "combine_fingerprints",
     "config_fingerprint",
     "derive_job_seed",
     "request_fingerprint",
+    "shard_index",
     "spec_fingerprint",
     "trace_fingerprint",
 ]

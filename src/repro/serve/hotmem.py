@@ -1,0 +1,265 @@
+"""Shared-memory hot tier: encoded strategy records in a seqlock ring.
+
+The process-pool era of :mod:`repro.serve` left one per-process cost on
+the table: every worker that touches the store re-reads and re-parses
+record JSON from disk, even for the fleet's hottest fingerprints.  This
+module keeps the *encoded* envelope bytes of recently written records in
+a `multiprocessing.shared_memory` segment that any process can attach to
+by name, so a warm lookup costs one index probe and one buffer copy —
+no file open, no ``json`` reparse of a file read.
+
+Design (deliberately simple, cache-only semantics):
+
+* **Fixed slot ring.**  The segment is a header plus ``slots`` fixed
+  size slots.  Writes go round-robin; a record larger than
+  ``slot_bytes`` is simply not cached (counted, never an error).  The
+  ring is a *cache*: eviction by overwrite is always safe because the
+  sharded disk store underneath is the source of truth.
+* **Single writer, many readers.**  Exactly one process (the gateway /
+  service owner) writes.  Readers may live in other processes.
+* **Seqlock per slot.**  The writer bumps the slot's sequence to an odd
+  value, writes payload, then bumps it to the next even value.  Readers
+  copy the slot and accept it only if the sequence was even and
+  unchanged across the copy — a torn read is detected and treated as a
+  miss, preserving the store's "never serve garbage" contract.
+* **Local index.**  Each handle keeps a ``fingerprint -> slot`` dict and
+  rescans slot headers only when the segment's write counter moved, so
+  hot lookups stay O(1).
+
+If the platform cannot allocate POSIX shared memory the tier falls back
+to a private buffer with identical semantics (``shared=False``) — the
+serving stack keeps working, it just loses cross-process reuse.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+from repro.errors import ServeError
+
+_MAGIC = b"RPROHOT1"
+#: header: magic, slots, slot_bytes, total writes ever committed.
+_HEADER = struct.Struct("<8sIIQ")
+#: slot header: seqlock sequence, fingerprint (raw 32 bytes), payload length.
+_SLOT_HEADER = struct.Struct("<Q32sI")
+
+_FINGERPRINT_HEX_LENGTH = 64
+
+
+def _fingerprint_bytes(fingerprint: str) -> bytes:
+    if len(fingerprint) != _FINGERPRINT_HEX_LENGTH:
+        raise ServeError(
+            f"fingerprint must be {_FINGERPRINT_HEX_LENGTH} hex chars, "
+            f"got {fingerprint!r}"
+        )
+    try:
+        return bytes.fromhex(fingerprint)
+    except ValueError as exc:
+        raise ServeError(f"fingerprint is not hex: {fingerprint!r}") from exc
+
+
+class SharedMemoryHotTier:
+    """A named, attachable ring of encoded strategy records.
+
+    Attributes:
+        slots: ring capacity in records.
+        slot_bytes: payload capacity per record.
+        shared: whether the buffer really is cross-process shared memory
+            (``False`` on the private-buffer fallback).
+        writable: only the creating handle may :meth:`put`.
+    """
+
+    def __init__(
+        self,
+        slots: int = 512,
+        slot_bytes: int = 24_576,
+        name: str | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ServeError(f"slots must be >= 1: {slots}")
+        if slot_bytes < 1:
+            raise ServeError(f"slot_bytes must be >= 1: {slot_bytes}")
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.writable = True
+        self._slot_stride = _SLOT_HEADER.size + slot_bytes
+        size = _HEADER.size + self.slots * self._slot_stride
+        self._shm: shared_memory.SharedMemory | None = None
+        try:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+            self._buf = self._shm.buf
+            self.shared = True
+        except (OSError, ValueError):
+            # No POSIX shm (or name collision): private-buffer fallback.
+            self._buf = memoryview(bytearray(size))
+            self.shared = False
+        _HEADER.pack_into(self._buf, 0, _MAGIC, slots, slot_bytes, 0)
+        self._index: dict[bytes, int] = {}
+        self._writes_seen = 0
+        # Local effectiveness counters (per handle, not shared).
+        self.hits = 0
+        self.misses = 0
+        self.oversize = 0
+        self.torn_reads = 0
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedMemoryHotTier":
+        """Open an existing segment read-only (worker-process side)."""
+        shm = shared_memory.SharedMemory(name=name, create=False)
+        magic, slots, slot_bytes, _ = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise ServeError(f"shared segment {name!r} is not a hot tier")
+        tier = cls.__new__(cls)
+        tier.slots = slots
+        tier.slot_bytes = slot_bytes
+        tier.writable = False
+        tier._slot_stride = _SLOT_HEADER.size + slot_bytes
+        tier._shm = shm
+        tier._buf = shm.buf
+        tier.shared = True
+        tier._index = {}
+        tier._writes_seen = 0
+        tier.hits = tier.misses = tier.oversize = tier.torn_reads = 0
+        return tier
+
+    @property
+    def name(self) -> str | None:
+        """The attachable segment name (``None`` on the fallback buffer)."""
+        return self._shm.name if self._shm is not None else None
+
+    @property
+    def writes(self) -> int:
+        """Total records ever committed to the ring."""
+        return _HEADER.unpack_from(self._buf, 0)[3]
+
+    def _slot_offset(self, slot: int) -> int:
+        return _HEADER.size + slot * self._slot_stride
+
+    def put(self, fingerprint: str, payload: bytes) -> bool:
+        """Cache one encoded record; returns False if it does not fit."""
+        if not self.writable:
+            raise ServeError("hot tier handle is read-only (attached)")
+        if len(payload) > self.slot_bytes:
+            self.oversize += 1
+            return False
+        raw = _fingerprint_bytes(fingerprint)
+        writes = self.writes
+        slot = writes % self.slots
+        offset = self._slot_offset(slot)
+        seq, old_raw, _ = _SLOT_HEADER.unpack_from(self._buf, offset)
+        # Seqlock write: odd while mutating, even (and advanced) after.
+        _SLOT_HEADER.pack_into(self._buf, offset, seq + 1, raw, len(payload))
+        data_at = offset + _SLOT_HEADER.size
+        self._buf[data_at : data_at + len(payload)] = payload
+        _SLOT_HEADER.pack_into(self._buf, offset, seq + 2, raw, len(payload))
+        _HEADER.pack_into(
+            self._buf, 0, _MAGIC, self.slots, self.slot_bytes, writes + 1
+        )
+        if seq != 0 and old_raw in self._index and self._index[old_raw] == slot:
+            del self._index[old_raw]
+        self._index[raw] = slot
+        self._writes_seen = writes + 1
+        return True
+
+    def get(self, fingerprint: str) -> bytes | None:
+        """Fetch one encoded record, or None on miss / torn read."""
+        raw = _fingerprint_bytes(fingerprint)
+        self._refresh_index()
+        slot = self._index.get(raw)
+        if slot is None:
+            self.misses += 1
+            return None
+        payload = self._read_slot(slot, raw)
+        if payload is None:
+            # Overwritten or mid-write since the index was built.
+            self._index.pop(raw, None)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def _read_slot(self, slot: int, expect_raw: bytes) -> bytes | None:
+        offset = self._slot_offset(slot)
+        seq1, raw, length = _SLOT_HEADER.unpack_from(self._buf, offset)
+        if seq1 == 0 or seq1 % 2 == 1 or raw != expect_raw:
+            return None
+        if length > self.slot_bytes:
+            return None
+        data_at = offset + _SLOT_HEADER.size
+        payload = bytes(self._buf[data_at : data_at + length])
+        seq2 = _SLOT_HEADER.unpack_from(self._buf, offset)[0]
+        if seq1 != seq2:
+            self.torn_reads += 1
+            return None
+        return payload
+
+    def _refresh_index(self) -> None:
+        writes = self.writes
+        if writes == self._writes_seen:
+            return
+        # More than a full ring of writes since the last scan: rebuild.
+        index: dict[bytes, int] = {}
+        for slot in range(min(self.slots, writes)):
+            offset = self._slot_offset(slot)
+            seq, raw, _ = _SLOT_HEADER.unpack_from(self._buf, offset)
+            if seq != 0 and seq % 2 == 0:
+                index[raw] = slot
+        self._index = index
+        self._writes_seen = writes
+
+    def __contains__(self, fingerprint: str) -> bool:
+        self._refresh_index()
+        return _fingerprint_bytes(fingerprint) in self._index
+
+    def __len__(self) -> int:
+        self._refresh_index()
+        return len(self._index)
+
+    def rows(self) -> list[dict[str, int | str]]:
+        """Effectiveness counters for :func:`repro.core.report.format_table`."""
+        return [
+            {"counter": "hot_tier_slots", "count": self.slots},
+            {"counter": "hot_tier_resident", "count": len(self)},
+            {"counter": "hot_tier_writes", "count": self.writes},
+            {"counter": "hot_tier_hits", "count": self.hits},
+            {"counter": "hot_tier_misses", "count": self.misses},
+            {"counter": "hot_tier_oversize", "count": self.oversize},
+            {"counter": "hot_tier_torn_reads", "count": self.torn_reads},
+            {
+                "counter": "hot_tier_shared",
+                "count": "yes" if self.shared else "no (private fallback)",
+            },
+        ]
+
+    def close(self, unlink: bool | None = None) -> None:
+        """Release the segment; the owner also unlinks it (idempotent).
+
+        Attached (read-only) handles only detach unless ``unlink=True``
+        is forced.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self._buf = memoryview(b"")
+        shm.close()
+        if unlink if unlink is not None else self.writable:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedMemoryHotTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

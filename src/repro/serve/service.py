@@ -49,21 +49,34 @@ class ServeResult:
 
     fingerprint: str
     strategy: DvfsStrategy
-    #: ``"memory"`` / ``"disk"`` / ``"coalesced"`` / ``"computed"``.
+    #: ``"memory"`` / ``"hot"`` / ``"disk"`` / ``"coalesced"`` /
+    #: ``"computed"``.
     source: str
     latency_seconds: float
 
 
 @dataclass
 class ServiceStats:
-    """Request counters for one service instance."""
+    """Request counters for one service or gateway instance.
+
+    Every aggregate (``hit_rate``, ``mean_latency_seconds``, ``rows``,
+    ``shed_rate``) is defined at zero requests — a traffic report over
+    an idle or fully-shed service renders without dividing by zero.
+    """
 
     requests: int = 0
     memory_hits: int = 0
+    #: Shared-memory hot-tier hits (sharded stores only).
+    hot_hits: int = 0
     disk_hits: int = 0
     coalesced: int = 0
+    #: Requests that ran their own GA (source ``"computed"``).
+    computed: int = 0
+    #: Requests refused by admission control (typed ``Overloaded``).
+    shed: int = 0
     ga_runs: int = 0
     total_latency_seconds: float = 0.0
+    max_latency_seconds: float = 0.0
     ga_seconds: float = 0.0
     #: Generations actually run across all GA misses.
     ga_generations: int = 0
@@ -73,42 +86,88 @@ class ServiceStats:
 
     @property
     def hits(self) -> int:
-        """Requests served without any work (memory + disk)."""
-        return self.memory_hits + self.disk_hits
+        """Requests served without any work (memory + hot + disk)."""
+        return self.memory_hits + self.hot_hits + self.disk_hits
+
+    @property
+    def admitted(self) -> int:
+        """Requests that were actually served (everything but shed)."""
+        return self.requests
+
+    @property
+    def offered(self) -> int:
+        """Requests presented to the front door (served + shed)."""
+        return self.requests + self.shed
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of requests served from the store."""
+        """Fraction of served requests answered from the store (0.0 idle)."""
         if self.requests == 0:
             return 0.0
         return self.hits / self.requests
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests refused by admission (0.0 idle)."""
+        offered = self.offered
+        if offered == 0:
+            return 0.0
+        return self.shed / offered
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean served-request latency (0.0 at zero requests)."""
+        if self.requests == 0:
+            return 0.0
+        return self.total_latency_seconds / self.requests
 
     @property
     def deduplicated(self) -> int:
         """Requests that did not trigger their own GA run."""
         return self.hits + self.coalesced
 
+    def source_counts(self) -> dict[str, int]:
+        """Per-source breakdown, shed included — always every key."""
+        return {
+            "memory": self.memory_hits,
+            "hot": self.hot_hits,
+            "disk": self.disk_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "shed": self.shed,
+        }
+
     def record(self, result: ServeResult) -> None:
         """Fold one served request into the counters."""
         self.requests += 1
         self.total_latency_seconds += result.latency_seconds
+        if result.latency_seconds > self.max_latency_seconds:
+            self.max_latency_seconds = result.latency_seconds
         if result.source == "memory":
             self.memory_hits += 1
+        elif result.source == "hot":
+            self.hot_hits += 1
         elif result.source == "disk":
             self.disk_hits += 1
         elif result.source == "coalesced":
             self.coalesced += 1
+        elif result.source == "computed":
+            self.computed += 1
+
+    def record_shed(self) -> None:
+        """Count one request refused by admission control."""
+        self.shed += 1
 
     def rows(self) -> list[dict[str, float | int | str]]:
         """Counter rows for :func:`repro.core.report.format_table`."""
-        mean_latency = (
-            self.total_latency_seconds / self.requests if self.requests else 0.0
-        )
         return [
             {"counter": "requests", "value": self.requests},
             {"counter": "memory_hits", "value": self.memory_hits},
+            {"counter": "hot_hits", "value": self.hot_hits},
             {"counter": "disk_hits", "value": self.disk_hits},
             {"counter": "coalesced", "value": self.coalesced},
+            {"counter": "computed", "value": self.computed},
+            {"counter": "shed", "value": self.shed},
             {"counter": "ga_runs", "value": self.ga_runs},
             {"counter": "ga_generations", "value": self.ga_generations},
             {
@@ -116,7 +175,15 @@ class ServiceStats:
                 "value": self.ga_generations_trimmed,
             },
             {"counter": "hit_rate", "value": f"{self.hit_rate:.2%}"},
-            {"counter": "mean_latency_s", "value": f"{mean_latency:.6f}"},
+            {"counter": "shed_rate", "value": f"{self.shed_rate:.2%}"},
+            {
+                "counter": "mean_latency_s",
+                "value": f"{self.mean_latency_seconds:.6f}",
+            },
+            {
+                "counter": "max_latency_s",
+                "value": f"{self.max_latency_seconds:.6f}",
+            },
             {"counter": "ga_seconds", "value": f"{self.ga_seconds:.3f}"},
         ]
 
@@ -168,6 +235,27 @@ class StrategyService:
         return combine_fingerprints(
             trace_fingerprint(trace), self._config_hash, self._spec_hash
         )
+
+    def lookup(self, fingerprint: str):
+        """Store lookup under this service's config/spec hashes.
+
+        The hook the async gateway builds on: one place owns the hash
+        pair, so every front end validates records identically.
+        """
+        return self.store.lookup(
+            fingerprint, self._config_hash, self._spec_hash
+        )
+
+    def commit(self, result: PoolResult) -> DvfsStrategy:
+        """Persist one computed result and fold it into the GA counters.
+
+        Shared by the synchronous paths and the async gateway so a
+        strategy committed through either front end produces the exact
+        same store record and statistics.
+        """
+        strategy = DvfsStrategy.from_json(result.strategy_json)
+        self._commit(result, strategy)
+        return strategy
 
     def request(self, trace: Trace) -> ServeResult:
         """Serve one request; thread-safe, with in-flight coalescing.

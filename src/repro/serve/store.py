@@ -6,14 +6,21 @@ One record per request fingerprint, stored as a JSON envelope around the
     <root>/<fp[:2]>/<fp>.json
 
 The envelope is schema-versioned and carries the config and hardware
-fingerprints the strategy was generated under; a record whose schema
-version or hashes no longer match is *invalidated* (deleted) on lookup
-rather than served stale.  Writes are atomic (temp file + rename), so a
-crashed or concurrent writer can never leave a half-record that a later
-reader trusts.
+fingerprints the strategy was generated under; a record whose hashes no
+longer match is *invalidated* (deleted) on lookup rather than served
+stale, while a structurally damaged record — truncated, garbled, not an
+envelope, or from an incompatible schema version — is *quarantined*:
+renamed with a ``.corrupt`` suffix (preserved for post-mortem, invisible
+to future lookups) and counted as a disk miss.  Writes are atomic (temp
+file + rename), so a crashed or concurrent writer can never leave a
+half-record that a later reader trusts.
 
 An in-process LRU layer sits in front of the disk so the hot fingerprints
-of a serving loop hit in microseconds without re-parsing JSON.
+of a serving loop hit in microseconds without re-parsing JSON.  The
+lookup tiers are exposed individually (:meth:`StrategyStore.lookup_memory`
+/ :meth:`StrategyStore.lookup_disk`) so composite stores — the sharded
+store with its shared-memory hot tier (:mod:`repro.serve.shards`) — can
+interleave extra layers between them.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.dvfs.strategy import DvfsStrategy
-from repro.errors import ServeError, StrategyError
+from repro.errors import CorruptRecordError, ServeError, StrategyError
 
 #: Bump on incompatible envelope changes; mismatching records are
 #: invalidated on lookup, never migrated silently.
@@ -52,18 +59,36 @@ class StoreCounters:
     """Lookup/write counters for one store instance."""
 
     memory_hits: int = 0
+    #: Shared-memory hot-tier hits (sharded stores only; see
+    #: :mod:`repro.serve.shards`).
+    hot_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    #: Structurally damaged records renamed aside with ``.corrupt``.
+    quarantined: int = 0
     puts: int = 0
+
+    def merge(self, other: "StoreCounters") -> "StoreCounters":
+        """Fold another counter block into this one (for shard totals)."""
+        self.memory_hits += other.memory_hits
+        self.hot_hits += other.hot_hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        self.quarantined += other.quarantined
+        self.puts += other.puts
+        return self
 
     def rows(self) -> list[dict[str, int | str]]:
         """One table row per counter (for :func:`repro.core.report.format_table`)."""
         return [
             {"counter": "memory_hits", "count": self.memory_hits},
+            {"counter": "hot_hits", "count": self.hot_hits},
             {"counter": "disk_hits", "count": self.disk_hits},
             {"counter": "misses", "count": self.misses},
             {"counter": "invalidations", "count": self.invalidations},
+            {"counter": "quarantined", "count": self.quarantined},
             {"counter": "puts", "count": self.puts},
         ]
 
@@ -85,6 +110,22 @@ def encode_record(
     }
 
 
+def encode_document(
+    fingerprint: str,
+    strategy: DvfsStrategy,
+    config_hash: str,
+    spec_hash: str,
+) -> str:
+    """The serialized on-disk document for one strategy record.
+
+    Split out from :meth:`StrategyStore.put` so composite stores can
+    encode once and hand the same bytes to both the disk shard and the
+    shared-memory hot tier.
+    """
+    record = encode_record(fingerprint, strategy, config_hash, spec_hash)
+    return json.dumps(record, indent=2)
+
+
 def decode_record(
     payload: dict[str, Any],
     fingerprint: str,
@@ -94,20 +135,24 @@ def decode_record(
     """Validate an envelope and extract its strategy.
 
     Raises:
-        ServeError: on schema-version, fingerprint, or hash mismatch, or
-            a structurally malformed envelope — all of which the store
-            treats as an invalidated record.
+        CorruptRecordError: the envelope is structurally damaged — not a
+            JSON object, an incompatible schema version, addressed under
+            the wrong fingerprint, or carrying a malformed strategy.
+            The store quarantines such files (``.corrupt``) on lookup.
+        ServeError: the envelope is well-formed but *stale* — generated
+            under a different config or hardware hash.  The store
+            deletes (invalidates) such records on lookup.
     """
     if not isinstance(payload, dict):
-        raise ServeError("store record is not a JSON object")
+        raise CorruptRecordError("store record is not a JSON object")
     version = payload.get("schema_version")
     if version != STORE_SCHEMA_VERSION:
-        raise ServeError(
+        raise CorruptRecordError(
             f"store record schema version {version!r} != "
             f"{STORE_SCHEMA_VERSION}"
         )
     if payload.get("fingerprint") != fingerprint:
-        raise ServeError(
+        raise CorruptRecordError(
             f"store record fingerprint {payload.get('fingerprint')!r} does "
             f"not match its address {fingerprint!r}"
         )
@@ -120,7 +165,9 @@ def decode_record(
     try:
         return DvfsStrategy.from_json(json.dumps(payload["strategy"]))
     except (KeyError, TypeError, StrategyError) as exc:
-        raise ServeError(f"store record strategy is malformed: {exc}") from exc
+        raise CorruptRecordError(
+            f"store record strategy is malformed: {exc}"
+        ) from exc
 
 
 def _validate_fingerprint(fingerprint: str) -> str:
@@ -170,15 +217,34 @@ class StrategyStore:
     ) -> StoreHit | None:
         """Fetch one record, memory layer first, validating the envelope.
 
-        A record that fails validation (old schema version, hash drift,
-        corruption) is deleted and counted as an invalidation + miss.
+        A *stale* record (hash drift) is deleted and counted as an
+        invalidation + miss; a *corrupt* record (truncated, garbled,
+        schema-incompatible) is quarantined with a ``.corrupt`` suffix
+        and likewise counted as a miss — lookups never raise for bad
+        on-disk state.
         """
+        hit = self.lookup_memory(fingerprint)
+        if hit is not None:
+            return hit
+        return self.lookup_disk(fingerprint, config_hash, spec_hash)
+
+    def lookup_memory(self, fingerprint: str) -> StoreHit | None:
+        """The LRU tier alone (no disk I/O, no counters on miss)."""
         with self._lock:
             cached = self._lru.get(fingerprint)
             if cached is not None:
                 self._lru.move_to_end(fingerprint)
                 self.counters.memory_hits += 1
                 return StoreHit(fingerprint, cached, tier="memory")
+        return None
+
+    def lookup_disk(
+        self,
+        fingerprint: str,
+        config_hash: str | None = None,
+        spec_hash: str | None = None,
+    ) -> StoreHit | None:
+        """The disk tier alone: read, validate, quarantine/invalidate."""
         path = self.path_for(fingerprint)
         try:
             document = path.read_text(encoding="utf-8")
@@ -190,7 +256,16 @@ class StrategyStore:
             with self._lock:
                 self.counters.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, ServeError):
+        # ValueError covers json.JSONDecodeError and the UnicodeDecodeError
+        # a garbled binary file raises from read_text.
+        except (OSError, ValueError, CorruptRecordError):
+            self._quarantine(path)
+            with self._lock:
+                self.counters.quarantined += 1
+                self.counters.invalidations += 1
+                self.counters.misses += 1
+            return None
+        except ServeError:
             path.unlink(missing_ok=True)
             with self._lock:
                 self.counters.invalidations += 1
@@ -200,6 +275,14 @@ class StrategyStore:
             self.counters.disk_hits += 1
             self._remember(fingerprint, strategy)
         return StoreHit(fingerprint, strategy, tier="disk")
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a damaged record aside as ``<name>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
 
     def get(
         self,
@@ -217,12 +300,20 @@ class StrategyStore:
         strategy: DvfsStrategy,
         config_hash: str,
         spec_hash: str,
+        document: str | None = None,
     ) -> Path:
-        """Persist one strategy atomically and refresh the memory layer."""
+        """Persist one strategy atomically and refresh the memory layer.
+
+        ``document`` lets a composite store pass a pre-encoded envelope
+        (see :func:`encode_document`) so the bytes are serialized once
+        for disk and hot tier alike.
+        """
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
-        record = encode_record(fingerprint, strategy, config_hash, spec_hash)
-        document = json.dumps(record, indent=2)
+        if document is None:
+            document = encode_document(
+                fingerprint, strategy, config_hash, spec_hash
+            )
         handle = tempfile.NamedTemporaryFile(
             mode="w",
             encoding="utf-8",
@@ -260,6 +351,15 @@ class StrategyStore:
                 continue
             for record in sorted(shard.glob("*.json")):
                 yield record.stem
+
+    def quarantined_files(self) -> Iterator[Path]:
+        """All ``.corrupt`` quarantine files currently on disk."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.corrupt"))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.fingerprints())

@@ -1,0 +1,7 @@
+"""``python -m repro.traffic`` — the bench-traffic driver, directly."""
+
+import sys
+
+from repro.serve.cli import main
+
+sys.exit(main(["bench-traffic", *sys.argv[1:]]))

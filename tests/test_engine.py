@@ -83,8 +83,14 @@ def assert_results_equivalent(fast, ref) -> None:
         assert _close(fr.soc_energy_j, rr.soc_energy_j, ITEM_REL, ITEM_ABS)
         assert fr.evaluation.duration_us == rr.evaluation.duration_us
 
-    assert len(fast.chunks) == len(ref.chunks)
-    for fc, rc in zip(fast.chunks, ref.chunks):
+    # A gap below one float ulp of the running clock may round into a
+    # degenerate (sub-femtosecond) idle chunk in one accumulation order
+    # and not the other; such chunks carry no energy or time at the
+    # 1e-9 contract and are excluded from the structural comparison.
+    fast_chunks = [c for c in fast.chunks if c.end_us - c.start_us > 1e-9]
+    ref_chunks = [c for c in ref.chunks if c.end_us - c.start_us > 1e-9]
+    assert len(fast_chunks) == len(ref_chunks)
+    for fc, rc in zip(fast_chunks, ref_chunks):
         assert fc.op_index == rc.op_index
         assert fc.freq_mhz == rc.freq_mhz
         assert _close(fc.start_us, rc.start_us, ITEM_REL, ITEM_ABS)

@@ -19,7 +19,6 @@ from repro.serve import (
     derive_job_seed,
     request_fingerprint,
     spec_fingerprint,
-    trace_fingerprint,
 )
 from repro.serve.pool import job_config, optimize_job
 from repro.serve.store import STORE_SCHEMA_VERSION, encode_record
@@ -173,6 +172,76 @@ class TestStore:
         store.clear_memory()
         assert store.lookup(fingerprint) is None
         assert not path.exists()
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            pytest.param(lambda doc: doc[: len(doc) // 2], id="truncated"),
+            pytest.param(lambda doc: "{garbled" + doc, id="garbled"),
+            pytest.param(lambda doc: '["not", "an", "envelope"]', id="list"),
+            pytest.param(
+                lambda doc: json.dumps(
+                    {**json.loads(doc), "strategy": {"nope": 1}}
+                ),
+                id="malformed-strategy",
+            ),
+        ],
+    )
+    def test_damaged_record_quarantined(
+        self, tmp_path, bert_trace, quick_serve_config, damage
+    ):
+        """Structural damage is quarantined (``.corrupt``), counted, and
+        treated as a plain miss — lookups never raise."""
+        store = StrategyStore(tmp_path / "store")
+        fingerprint = request_fingerprint(bert_trace, quick_serve_config)
+        strategy = self._strategy(bert_trace, quick_serve_config)
+        path = store.put(fingerprint, strategy, "cfg", "spec")
+        path.write_text(
+            damage(path.read_text(encoding="utf-8")), encoding="utf-8"
+        )
+        store.clear_memory()
+        assert store.lookup(fingerprint, "cfg", "spec") is None
+        assert store.counters.quarantined == 1
+        assert store.counters.misses == 1
+        assert not path.exists()
+        quarantined = list(store.quarantined_files())
+        assert [p.name for p in quarantined] == [path.name + ".corrupt"]
+        # A later lookup is an ordinary miss, not a second quarantine.
+        assert store.lookup(fingerprint, "cfg", "spec") is None
+        assert store.counters.quarantined == 1
+        # ... and a fresh put simply replaces the record.
+        store.put(fingerprint, strategy, "cfg", "spec")
+        store.clear_memory()
+        assert store.lookup(fingerprint, "cfg", "spec").tier == "disk"
+
+    def test_binary_garbage_quarantined(
+        self, tmp_path, bert_trace, quick_serve_config
+    ):
+        store = StrategyStore(tmp_path / "store")
+        fingerprint = request_fingerprint(bert_trace, quick_serve_config)
+        strategy = self._strategy(bert_trace, quick_serve_config)
+        path = store.put(fingerprint, strategy, "cfg", "spec")
+        path.write_bytes(b"\x00\xff\xfe not utf-8 \x80")
+        store.clear_memory()
+        assert store.lookup(fingerprint) is None
+        assert store.counters.quarantined == 1
+        assert list(store.quarantined_files())
+
+    def test_wrong_address_quarantined(
+        self, tmp_path, bert_trace, quick_serve_config
+    ):
+        """A record whose envelope names a different fingerprint than
+        its address is corrupt, not merely stale."""
+        store = StrategyStore(tmp_path / "store")
+        fingerprint = request_fingerprint(bert_trace, quick_serve_config)
+        strategy = self._strategy(bert_trace, quick_serve_config)
+        path = store.put(fingerprint, strategy, "cfg", "spec")
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["fingerprint"] = "00" * 32
+        path.write_text(json.dumps(record), encoding="utf-8")
+        store.clear_memory()
+        assert store.lookup(fingerprint) is None
+        assert store.counters.quarantined == 1
 
     def test_lru_capacity_bounded(self, tmp_path):
         store = StrategyStore(tmp_path / "store", memory_capacity=2)

@@ -1,0 +1,278 @@
+"""Tests for the sharded store + shared-memory hot tier (repro.serve)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dvfs.strategy import constant_strategy
+from repro.errors import ServeError
+from repro.serve import (
+    SharedMemoryHotTier,
+    ShardedStrategyStore,
+    StrategyStore,
+    shard_index,
+)
+from repro.serve.shards import ShardLayout
+
+
+def _fingerprint(i: int) -> str:
+    return f"{i:02x}" * 32
+
+
+def _strategies(count: int):
+    return [
+        (_fingerprint(i), constant_strategy(f"w{i}", 1500.0 + i, 80.0))
+        for i in range(count)
+    ]
+
+
+class TestShardIndex:
+    def test_stable_and_bounded(self):
+        for i in range(64):
+            fp = _fingerprint(i)
+            index = shard_index(fp, 8)
+            assert 0 <= index < 8
+            assert index == shard_index(fp, 8)
+
+    def test_shard_count_bounds(self, tmp_path):
+        with pytest.raises(ServeError):
+            ShardedStrategyStore(tmp_path / "s", shards=0)
+        with pytest.raises(ServeError):
+            ShardedStrategyStore(tmp_path / "s", shards=257)
+
+
+class TestPartitionEquivalence:
+    def test_sharded_records_partition_flat_store(self, tmp_path):
+        """The shards hold exactly the flat store's records, byte for
+        byte — only the directory level above the fan-out differs."""
+        flat = StrategyStore(tmp_path / "flat")
+        with ShardedStrategyStore(
+            tmp_path / "sharded", shards=4, hot_slots=0
+        ) as sharded:
+            for fp, strategy in _strategies(16):
+                flat.put(fp, strategy, "cfg", "spec")
+                sharded.put(fp, strategy, "cfg", "spec")
+            assert list(sharded.fingerprints()) == list(flat.fingerprints())
+            assert len(sharded) == len(flat) == 16
+            for fp, _ in _strategies(16):
+                flat_bytes = flat.path_for(fp).read_bytes()
+                shard_bytes = sharded.path_for(fp).read_bytes()
+                assert flat_bytes == shard_bytes
+                owner = shard_index(fp, 4)
+                assert f"shard-{owner:02d}" in str(sharded.path_for(fp))
+
+    def test_lookup_tiers(self, tmp_path):
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=2, hot_slots=8
+        ) as store:
+            fp, strategy = _strategies(1)[0]
+            store.put(fp, strategy, "cfg", "spec")
+            assert store.lookup(fp, "cfg", "spec").tier == "memory"
+            store.clear_memory()
+            hit = store.lookup(fp, "cfg", "spec")
+            assert hit.tier == "hot"
+            assert hit.strategy == strategy
+            # The hot hit repopulated the LRU.
+            assert store.lookup(fp, "cfg", "spec").tier == "memory"
+            counters = store.aggregate_counters()
+            assert counters.hot_hits == 1
+            assert counters.memory_hits == 2
+
+    def test_disk_fallback_when_hot_disabled(self, tmp_path):
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=2, hot_slots=0
+        ) as store:
+            fp, strategy = _strategies(1)[0]
+            store.put(fp, strategy, "cfg", "spec")
+            store.clear_memory()
+            assert store.lookup(fp, "cfg", "spec").tier == "disk"
+
+    def test_quarantine_aggregates_across_shards(self, tmp_path):
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=4, hot_slots=0
+        ) as store:
+            pairs = _strategies(4)
+            for fp, strategy in pairs:
+                store.put(fp, strategy, "cfg", "spec")
+            store.clear_memory()
+            victim = store.path_for(pairs[0][0])
+            victim.write_text("{truncated", encoding="utf-8")
+            assert store.lookup(pairs[0][0], "cfg", "spec") is None
+            assert not victim.exists()
+            quarantined = list(store.quarantined_files())
+            assert len(quarantined) == 1
+            assert quarantined[0].name.endswith(".corrupt")
+            assert store.aggregate_counters().quarantined == 1
+            # The other shards are untouched.
+            assert store.lookup(pairs[1][0], "cfg", "spec") is not None
+
+    def test_clear_and_counter_rows(self, tmp_path):
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=2, hot_slots=4
+        ) as store:
+            for fp, strategy in _strategies(6):
+                store.put(fp, strategy, "cfg", "spec")
+            rows = {row["counter"] for row in store.counter_rows()}
+            assert {"puts", "shards", "hot_tier_slots"} <= rows
+            assert store.clear() == 6
+            assert len(store) == 0
+
+
+class TestShardLayout:
+    def test_detects_sharded(self, tmp_path):
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=3, hot_slots=0
+        ) as store:
+            fp, strategy = _strategies(1)[0]
+            store.put(fp, strategy, "cfg", "spec")
+        layout = ShardLayout.detect(tmp_path / "s")
+        assert layout.sharded and layout.shards == 3
+
+    def test_detects_flat_and_missing(self, tmp_path):
+        flat = StrategyStore(tmp_path / "flat")
+        fp, strategy = _strategies(1)[0]
+        flat.put(fp, strategy, "cfg", "spec")
+        assert not ShardLayout.detect(tmp_path / "flat").sharded
+        assert not ShardLayout.detect(tmp_path / "nowhere").sharded
+
+
+class TestSharedMemoryHotTier:
+    def test_roundtrip_and_eviction(self):
+        with SharedMemoryHotTier(slots=2, slot_bytes=64) as tier:
+            payloads = {
+                _fingerprint(i): f"payload-{i}".encode() for i in range(3)
+            }
+            for fp, payload in payloads.items():
+                assert tier.put(fp, payload)
+            # Ring of 2: the oldest record was overwritten.
+            assert tier.get(_fingerprint(0)) is None
+            assert tier.get(_fingerprint(1)) == b"payload-1"
+            assert tier.get(_fingerprint(2)) == b"payload-2"
+            assert len(tier) == 2
+            assert tier.writes == 3
+
+    def test_oversize_payload_not_cached(self):
+        with SharedMemoryHotTier(slots=2, slot_bytes=8) as tier:
+            assert not tier.put(_fingerprint(1), b"x" * 9)
+            assert tier.oversize == 1
+            assert tier.get(_fingerprint(1)) is None
+
+    def test_attach_reads_owner_writes(self):
+        with SharedMemoryHotTier(slots=4, slot_bytes=64) as owner:
+            if not owner.shared:
+                pytest.skip("platform has no POSIX shared memory")
+            owner.put(_fingerprint(7), b"cross-process bytes")
+            reader = SharedMemoryHotTier.attach(owner.name)
+            try:
+                assert reader.get(_fingerprint(7)) == b"cross-process bytes"
+                with pytest.raises(ServeError):
+                    reader.put(_fingerprint(8), b"nope")
+                # Writes after attach are visible on the next get.
+                owner.put(_fingerprint(9), b"late write")
+                assert reader.get(_fingerprint(9)) == b"late write"
+            finally:
+                reader.close()
+
+    def test_torn_write_read_as_miss(self):
+        from repro.serve.hotmem import _HEADER, _SLOT_HEADER
+
+        with SharedMemoryHotTier(slots=1, slot_bytes=64) as tier:
+            fp = _fingerprint(3)
+            assert tier.put(fp, b"committed")
+            # Forge a mid-write state: odd sequence number.
+            offset = _HEADER.size
+            seq, raw, length = _SLOT_HEADER.unpack_from(tier._buf, offset)
+            _SLOT_HEADER.pack_into(tier._buf, offset, seq + 1, raw, length)
+            assert tier.get(fp) is None
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            SharedMemoryHotTier(slots=0)
+        with pytest.raises(ServeError):
+            SharedMemoryHotTier(slots=1, slot_bytes=0)
+        with SharedMemoryHotTier(slots=1, slot_bytes=8) as tier:
+            with pytest.raises(ServeError):
+                tier.get("zz")  # not a fingerprint
+
+    def test_close_idempotent(self):
+        tier = SharedMemoryHotTier(slots=1, slot_bytes=8)
+        tier.close()
+        tier.close()
+
+
+class TestHotTierValidation:
+    def test_damaged_hot_record_falls_through_to_disk(self, tmp_path):
+        """A corrupted hot-tier payload is never served: the lookup
+        falls through to the disk shard (source of truth)."""
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=1, hot_slots=4
+        ) as store:
+            fp, strategy = _strategies(1)[0]
+            store.put(fp, strategy, "cfg", "spec")
+            store.clear_memory()
+            # Poison the hot-tier copy with structurally bad JSON.
+            store.hot_tier.put(fp, b"{definitely not a record")
+            hit = store.lookup(fp, "cfg", "spec")
+            assert hit is not None
+            assert hit.tier == "disk"
+            assert hit.strategy == strategy
+
+    def test_hash_drift_in_hot_record_falls_through(self, tmp_path):
+        with ShardedStrategyStore(
+            tmp_path / "s", shards=1, hot_slots=4
+        ) as store:
+            fp, strategy = _strategies(1)[0]
+            store.put(fp, strategy, "cfg-old", "spec")
+            store.clear_memory()
+            # Under new hashes the hot record is stale; the disk tier
+            # then invalidates the record entirely.
+            assert store.lookup(fp, "cfg-new", "spec") is None
+            assert store.aggregate_counters().invalidations == 1
+
+
+class TestStatsCli:
+    def test_stats_renders_sharded_store(self, tmp_path, capsys):
+        from repro.serve.cli import main
+
+        root = tmp_path / "s"
+        with ShardedStrategyStore(root, shards=2, hot_slots=0) as store:
+            pairs = _strategies(3)
+            for fp, strategy in pairs:
+                store.put(fp, strategy, "cfg", "spec")
+            # One structurally damaged record to quarantine on scan.
+            store.path_for(pairs[0][0]).write_text(
+                "{oops", encoding="utf-8"
+            )
+        assert main(["stats", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "sharded store (2 shards)" in out
+        assert "2 valid record(s)" in out
+        assert "1 quarantined file(s)" in out
+        assert "quarantined" in out
+        assert "shard-00" in out and "shard-01" in out
+
+    def test_stats_renders_flat_store(self, tmp_path, capsys):
+        from repro.serve.cli import main
+
+        root = tmp_path / "flat"
+        flat = StrategyStore(root)
+        fp, strategy = _strategies(1)[0]
+        flat.put(fp, strategy, "cfg", "spec")
+        assert main(["stats", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "flat store" in out
+        assert "1 valid record(s)" in out
+
+
+def test_record_schema_is_json(tmp_path):
+    """Shard records stay plain JSON envelopes (tooling contract)."""
+    with ShardedStrategyStore(
+        tmp_path / "s", shards=1, hot_slots=0
+    ) as store:
+        fp, strategy = _strategies(1)[0]
+        path = store.put(fp, strategy, "cfg", "spec")
+        record = json.loads(path.read_text(encoding="utf-8"))
+    assert record["fingerprint"] == fp
+    assert record["config_hash"] == "cfg"
