@@ -158,3 +158,148 @@ def cached_reclaim(
     ):
         store.put(fingerprint, device_strategy, config_hash, spec_hash)
     return CachedReclaimResult(strategy=strategy, hits=hits, computed=True)
+
+
+# -- Fleet-scale reclamation through the store ---------------------------
+#
+# The fleet layer (:mod:`repro.fleet`) sits above the cluster package in
+# the import order (its spec embeds a ClusterSpec), so everything below
+# imports fleet types lazily inside the function bodies.
+
+
+def fleet_config_hash(
+    spec,
+    active_ids: tuple[int, ...],
+    slack_margin: float = 0.0,
+) -> str:
+    """Hash of every fleet-level knob a reclaimed fleet plan depends on.
+
+    Unlike :func:`cluster_config_hash`, the *membership* is part of the
+    key: the barrier target is the straggler's arrival over the devices
+    that are active right now, so a plan cached for one membership must
+    not be served to another (e.g. after the straggler left).
+    """
+    return payload_fingerprint(
+        "fleet_config",
+        {
+            "n_devices": spec.n_devices,
+            "capacity": spec.capacity,
+            "variation": spec.variation,
+            "topology": spec.topology,
+            "gradient_bytes": spec.gradient_bytes,
+            "seed": spec.seed,
+            "slack_margin": slack_margin,
+            "active": tuple(int(i) for i in active_ids),
+        },
+    )
+
+
+def fleet_device_fingerprint(
+    trace: Trace,
+    spec,
+    active_ids: tuple[int, ...],
+    device_id: int,
+    slack_margin: float = 0.0,
+) -> str:
+    """The store key for one fleet device's share of a reclaimed plan."""
+    profile = spec.device_profiles()[device_id]
+    return combine_fingerprints(
+        trace_fingerprint(trace),
+        fleet_config_hash(spec, active_ids, slack_margin),
+        device_spec_hash(spec.cluster_spec(), profile),
+    )
+
+
+@dataclass(frozen=True)
+class FleetCachedReclaimResult:
+    """A fleet plan plus where its device strategies came from."""
+
+    #: A :class:`repro.fleet.simulator.FleetPlan`.
+    plan: object
+    #: Store hits, per active device in id order.
+    hits: tuple[bool, ...]
+    #: Whether the duration table had to be built this call.
+    computed: bool
+
+    @property
+    def hit_count(self) -> int:
+        """How many device strategies the store served."""
+        return sum(self.hits)
+
+
+def fleet_cached_reclaim(
+    sim,
+    store: StrategyStore,
+    slack_margin: float = 0.0,
+) -> FleetCachedReclaimResult:
+    """Fleet slack reclamation through the persistent strategy store.
+
+    The fleet analogue of :func:`cached_reclaim`: on a full hit the
+    :class:`~repro.fleet.simulator.FleetPlan` is reassembled from the
+    stored per-device strategies without building the duration table; on
+    any miss the vectorized reclamation runs and every active device's
+    strategy is persisted.  Both paths produce byte-identical per-device
+    strategies, so a fleet resubmitting the same job (same trace, same
+    membership) pays zero table builds.
+    """
+    import numpy as np
+
+    from repro.fleet.dvfs import plan_strategies, reclaim_fleet_slack
+    from repro.fleet.simulator import FleetPlan
+
+    spec = sim.spec
+    trace = sim.trace
+    active = tuple(int(i) for i in sim.active_ids)
+    config_hash = fleet_config_hash(spec, active, slack_margin)
+    trace_hash = trace_fingerprint(trace)
+    profiles = spec.device_profiles()
+    spec_hashes = [
+        device_spec_hash(spec.cluster_spec(), profiles[i]) for i in active
+    ]
+    fingerprints = [
+        combine_fingerprints(trace_hash, config_hash, spec_hash)
+        for spec_hash in spec_hashes
+    ]
+    lookups = [
+        store.lookup(fingerprint, config_hash, spec_hash)
+        for fingerprint, spec_hash in zip(fingerprints, spec_hashes)
+    ]
+    hits = tuple(hit is not None for hit in lookups)
+    if all(hits):
+        grid = tuple(float(f) for f in spec.npu.frequencies.points)
+        capacity = spec.capacity
+        freq_index = np.full(capacity, len(grid) - 1, dtype=np.intp)
+        freq_mhz = np.full(capacity, grid[-1], dtype=float)
+        predicted = np.zeros(capacity, dtype=float)
+        covered = np.zeros(capacity, dtype=bool)
+        for device_id, hit in zip(active, lookups):
+            plan = hit.strategy.plans[-1]
+            freq_index[device_id] = grid.index(plan.freq_mhz)
+            freq_mhz[device_id] = plan.freq_mhz
+            predicted[device_id] = plan.start_us + plan.duration_us
+            covered[device_id] = True
+        arrivals = predicted[list(active)]
+        # The tightest barrier the stored plans were built for: the
+        # straggler's predicted arrival (mirrors cached_reclaim).
+        target = float(arrivals.max())
+        straggler_id = int(active[int(np.argmax(arrivals))])
+        return FleetCachedReclaimResult(
+            plan=FleetPlan(
+                workload=trace.name,
+                target_compute_us=target,
+                straggler_id=straggler_id,
+                freqs_mhz=grid,
+                freq_index=freq_index,
+                freq_mhz=freq_mhz,
+                predicted_us=predicted,
+                covered=covered,
+            ),
+            hits=hits,
+            computed=False,
+        )
+    plan = reclaim_fleet_slack(sim, slack_margin=slack_margin)
+    for fingerprint, spec_hash, device_strategy in zip(
+        fingerprints, spec_hashes, plan_strategies(plan)
+    ):
+        store.put(fingerprint, device_strategy, config_hash, spec_hash)
+    return FleetCachedReclaimResult(plan=plan, hits=hits, computed=True)

@@ -103,9 +103,20 @@ class ClusterStepResult:
         """Fleet-wide (summed) average SoC power over the step."""
         return self.fleet_soc_energy_j / (self.step_us / US_PER_S)
 
-    def device_rows(self) -> list[dict]:
-        """Per-device table rows (for :func:`repro.core.report.format_table`)."""
-        return [
+    def device_rows(self, top_k: int = 8) -> list[dict]:
+        """Straggler top-k table rows plus one fleet-remainder summary.
+
+        The ``top_k`` slowest arrivals (straggler first), then a single
+        aggregate row for the remaining ``N - top_k`` devices — O(top_k)
+        rows at any fleet size, and the same shape
+        :meth:`repro.fleet.simulator.FleetStepResult.device_rows`
+        produces, so reports stay comparable across the two simulators.
+        """
+        order = sorted(
+            range(len(self.devices)),
+            key=lambda i: -self.devices[i].compute_us,
+        )
+        rows = [
             {
                 "device": d.device_id,
                 "compute_ms": round(d.compute_us / 1000.0, 3),
@@ -115,8 +126,31 @@ class ClusterStepResult:
                 "aicore_j": round(d.total_aicore_energy_j, 3),
                 "straggler": "*" if d.device_id == self.straggler_id else "",
             }
-            for d in self.devices
+            for d in (self.devices[i] for i in order[:top_k])
         ]
+        rest = [self.devices[i] for i in order[top_k:]]
+        if rest:
+            rows.append(
+                {
+                    "device": f"(+{len(rest)} faster)",
+                    "compute_ms": round(
+                        sum(d.compute_us for d in rest) / len(rest) / 1000.0,
+                        3,
+                    ),
+                    "wait_ms": round(
+                        sum(d.wait_us for d in rest) / len(rest) / 1000.0, 3
+                    ),
+                    "idle_mhz": "",
+                    "soc_j": round(
+                        sum(d.total_soc_energy_j for d in rest), 3
+                    ),
+                    "aicore_j": round(
+                        sum(d.total_aicore_energy_j for d in rest), 3
+                    ),
+                    "straggler": "",
+                }
+            )
+        return rows
 
     def report(self, baseline: "ClusterStepResult") -> ClusterResult:
         """Compare this step against a baseline step of the same workload."""

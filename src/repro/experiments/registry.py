@@ -10,6 +10,7 @@ from repro.experiments import (
     ext_cluster,
     ext_fault_tolerance,
     ext_fleet,
+    ext_fleet_scale,
     ext_granularity,
     ext_robustness,
     ext_uncore_dvfs,
@@ -34,6 +35,7 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "ext_cluster": ext_cluster.run,
     "ext_fault_tolerance": ext_fault_tolerance.run,
     "ext_fleet": ext_fleet.run,
+    "ext_fleet_scale": ext_fleet_scale.run,
     "ext_granularity": ext_granularity.run,
     "ext_robustness": ext_robustness.run,
     "ext_uncore": ext_uncore_dvfs.run,

@@ -1,0 +1,585 @@
+"""Vectorized barrier-step execution over an elastic device fleet.
+
+The cluster layer simulates a step by looping Python
+:class:`~repro.cluster.device.ClusterDevice` objects around the engine —
+exact, but O(N) Python work per step.  The paper's constant-frequency
+solution is an affine scalar pair per device (``E = E0 + E1 * delta0``),
+so a fleet of N devices collapses to ``(N,)``-shaped NumPy arrays:
+:func:`repro.npu.engine.batched_const_solutions` stacks every device's
+compiled affine solution once per frequency, and then a whole
+synchronous training step — per-device arrivals, the barrier max, the
+hierarchical collective, idle-priced waits, the RC thermal update and
+the overrun watchdog — is a handful of vectorized passes.  10k devices
+step in milliseconds (see ``BENCH_fleet.json``).
+
+Semantics are the cluster simulator's, element for element: durations
+are bitwise identical to the looped reference (same scale multiply,
+same ``cumsum`` geometry) and energies/temperatures agree to rounding
+(~1e-15; ``tests/test_fleet_equivalence.py`` pins <= 1e-9 at
+N in {1, 2, 8, 16}).  The differences are scale-bearing: results carry
+arrays instead of per-device objects, reports summarize stragglers
+(top-k) instead of emitting 10k rows, and membership is elastic — the
+seeded churn of :mod:`repro.fleet.churn` joins, drains and fails
+devices between steps with deterministic re-sharding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.simulator import BARRIER_OVERRUN_TOLERANCE
+from repro.core.report import ClusterResult
+from repro.errors import ConfigurationError
+from repro.fleet.churn import ChurnDraw, FleetEvent, draw_churn
+from repro.fleet.spec import FleetSpec
+from repro.fleet.topology import CollectiveCost
+from repro.npu.engine import (
+    CompiledTrace,
+    ConstAffineBatch,
+    batched_const_durations,
+    batched_const_solutions,
+)
+from repro.npu.execution import GroundTruthEvaluator
+from repro.units import US_PER_S
+from repro.workloads.trace import Trace
+
+#: Sub-intervals the barrier-wait idle integration is split into — the
+#: same discretisation :meth:`repro.cluster.device.ClusterDevice.idle`
+#: uses, so the two simulators price waits identically.
+IDLE_INTEGRATION_STEPS = 8
+
+#: Straggler rows a fleet report carries before summarizing the rest.
+DEFAULT_TOP_K = 8
+
+
+@dataclass(frozen=True)
+class FleetStepResult:
+    """Outcome of one synchronous step, in ``(active devices,)`` arrays.
+
+    Array fields line up with :attr:`device_ids` (active devices in id
+    order).  The scalar aggregates mirror
+    :class:`~repro.cluster.simulator.ClusterStepResult`.
+    """
+
+    fleet_name: str
+    workload: str
+    compute_us: float
+    collective: CollectiveCost
+    straggler_id: int
+    device_ids: np.ndarray
+    arrival_us: np.ndarray
+    wait_us: np.ndarray
+    freq_mhz: np.ndarray
+    aicore_energy_j: np.ndarray
+    soc_energy_j: np.ndarray
+    idle_aicore_energy_j: np.ndarray
+    idle_soc_energy_j: np.ndarray
+    end_celsius: np.ndarray
+    #: Devices that arrived measurably past the planned barrier (count,
+    #: and the worst offenders by lateness).
+    overrun_count: int = 0
+    overrun_device_ids: tuple[int, ...] = ()
+    #: Churn events applied immediately before this step.
+    events: tuple[FleetEvent, ...] = ()
+
+    @property
+    def n_devices(self) -> int:
+        """Active devices that ran this step."""
+        return self.device_ids.size
+
+    @property
+    def collective_us(self) -> float:
+        """Selected all-reduce cost of the gradient exchange."""
+        return self.collective.chosen_us
+
+    @property
+    def step_us(self) -> float:
+        """Wall time of the step: slowest arrival plus the collective."""
+        return self.compute_us + self.collective_us
+
+    @property
+    def total_soc_energy_j(self) -> np.ndarray:
+        """Per-device compute plus barrier-idle SoC energy."""
+        return self.soc_energy_j + self.idle_soc_energy_j
+
+    @property
+    def total_aicore_energy_j(self) -> np.ndarray:
+        """Per-device compute plus barrier-idle AICore energy."""
+        return self.aicore_energy_j + self.idle_aicore_energy_j
+
+    @property
+    def fleet_soc_energy_j(self) -> float:
+        """Total SoC energy across the fleet, barrier idling included."""
+        return float(np.sum(self.total_soc_energy_j))
+
+    @property
+    def fleet_aicore_energy_j(self) -> float:
+        """Total AICore energy across the fleet."""
+        return float(np.sum(self.total_aicore_energy_j))
+
+    @property
+    def fleet_soc_avg_watts(self) -> float:
+        """Fleet-wide (summed) average SoC power over the step."""
+        return self.fleet_soc_energy_j / (self.step_us / US_PER_S)
+
+    def device_rows(self, top_k: int = DEFAULT_TOP_K) -> list[dict]:
+        """Straggler top-k table rows plus one fleet-remainder summary.
+
+        Same shape as the cluster report's rows: the ``top_k`` slowest
+        arrivals (straggler first), then a single aggregate row for the
+        other ``N - top_k`` devices — O(top_k) rows at any fleet size.
+        """
+        order = np.argsort(-self.arrival_us, kind="stable")
+        rows = []
+        for pos in order[:top_k]:
+            device = int(self.device_ids[pos])
+            rows.append(
+                {
+                    "device": device,
+                    "compute_ms": round(
+                        float(self.arrival_us[pos]) / 1000.0, 3
+                    ),
+                    "wait_ms": round(float(self.wait_us[pos]) / 1000.0, 3),
+                    "idle_mhz": round(float(self.freq_mhz[pos])),
+                    "soc_j": round(float(self.total_soc_energy_j[pos]), 3),
+                    "aicore_j": round(
+                        float(self.total_aicore_energy_j[pos]), 3
+                    ),
+                    "straggler": "*" if device == self.straggler_id else "",
+                }
+            )
+        rest = order[top_k:]
+        if rest.size:
+            rows.append(
+                {
+                    "device": f"(+{rest.size} faster)",
+                    "compute_ms": round(
+                        float(np.mean(self.arrival_us[rest])) / 1000.0, 3
+                    ),
+                    "wait_ms": round(
+                        float(np.mean(self.wait_us[rest])) / 1000.0, 3
+                    ),
+                    "idle_mhz": "",
+                    "soc_j": round(
+                        float(np.sum(self.total_soc_energy_j[rest])), 3
+                    ),
+                    "aicore_j": round(
+                        float(np.sum(self.total_aicore_energy_j[rest])), 3
+                    ),
+                    "straggler": "",
+                }
+            )
+        return rows
+
+    def report(self, baseline: "FleetStepResult") -> ClusterResult:
+        """Compare this step against a baseline step of the same fleet."""
+        return ClusterResult(
+            cluster_name=self.fleet_name,
+            workload=self.workload,
+            n_devices=self.n_devices,
+            baseline_step_us=baseline.step_us,
+            step_us=self.step_us,
+            allreduce_us=self.collective_us,
+            baseline_soc_energy_j=baseline.fleet_soc_energy_j,
+            soc_energy_j=self.fleet_soc_energy_j,
+            baseline_aicore_energy_j=baseline.fleet_aicore_energy_j,
+            aicore_energy_j=self.fleet_aicore_energy_j,
+            straggler_id=self.straggler_id,
+            device_rows=tuple(self.device_rows()),
+        )
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Per-device constant-frequency assignment over the provisioned fleet.
+
+    Arrays span the full capacity; :attr:`covered` marks the devices the
+    plan was computed for — boards that join later run the maximum-
+    frequency baseline until the plan is re-targeted.
+    """
+
+    workload: str
+    target_compute_us: float
+    straggler_id: int
+    freqs_mhz: tuple[float, ...]
+    freq_index: np.ndarray
+    freq_mhz: np.ndarray
+    predicted_us: np.ndarray
+    covered: np.ndarray
+
+    @property
+    def n_devices(self) -> int:
+        """Devices the plan covers."""
+        return int(np.count_nonzero(self.covered))
+
+
+class FleetSimulator:
+    """N-device synchronous training as ``(devices,)`` array passes.
+
+    Construction compiles the trace once against the shared evaluator
+    and draws the provisioned boards' profiles; per-frequency
+    :class:`~repro.npu.engine.ConstAffineBatch` stacks are built lazily
+    on first use and reused across every subsequent step (spares
+    included, so churn never recompiles anything).
+    """
+
+    def __init__(self, spec: FleetSpec, trace: Trace) -> None:
+        self._spec = spec
+        self._trace = trace
+        self._evaluator = GroundTruthEvaluator(spec.npu)
+        self._compiled = CompiledTrace(trace, self._evaluator)
+        profiles = spec.device_profiles()
+        self._profiles = profiles
+        base_ambient = spec.npu.thermal.ambient_celsius
+        self._scales = np.array(
+            [p.total_duration_scale for p in profiles]
+        )
+        self._ambient = np.array(
+            [base_ambient + p.ambient_offset_celsius for p in profiles]
+        )
+        self._active = np.zeros(spec.capacity, dtype=bool)
+        self._active[: spec.n_devices] = True
+        self._next_spare = spec.n_devices
+        self._celsius = self._ambient.copy()
+        self._solutions: dict[float, ConstAffineBatch] = {}
+        self._events: list[FleetEvent] = []
+        self._overrun_total = 0
+
+    @property
+    def spec(self) -> FleetSpec:
+        """The fleet description."""
+        return self._spec
+
+    @property
+    def trace(self) -> Trace:
+        """The operator sequence every device replays."""
+        return self._trace
+
+    @property
+    def compiled(self) -> CompiledTrace:
+        """The shared trace lowering (nominal durations)."""
+        return self._compiled
+
+    @property
+    def duration_scales(self) -> np.ndarray:
+        """Per-board operator-duration scales over the capacity."""
+        return self._scales
+
+    @property
+    def active_ids(self) -> np.ndarray:
+        """Active device ids, ascending (the current membership)."""
+        return np.flatnonzero(self._active)
+
+    @property
+    def n_active(self) -> int:
+        """Current active fleet size."""
+        return int(np.count_nonzero(self._active))
+
+    @property
+    def celsius(self) -> np.ndarray:
+        """Current board temperatures over the capacity (a copy)."""
+        return self._celsius.copy()
+
+    @property
+    def events(self) -> tuple[FleetEvent, ...]:
+        """Every churn event applied (or skipped) so far."""
+        return tuple(self._events)
+
+    @property
+    def overrun_total(self) -> int:
+        """Barrier overruns recorded across all steps."""
+        return self._overrun_total
+
+    def rack_sizes(self) -> tuple[int, ...]:
+        """Current rack occupancy (survivors re-sharded in id order)."""
+        return self._spec.topology.rack_sizes(self.n_active)
+
+    def collective_cost(self) -> CollectiveCost:
+        """Priced gradient exchange on the current membership."""
+        return self._spec.topology.breakdown(
+            self._spec.gradient_bytes, self.rack_sizes()
+        )
+
+    def solution(self, freq_mhz: float) -> ConstAffineBatch:
+        """The cached capacity-wide affine batch at one frequency."""
+        sol = self._solutions.get(freq_mhz)
+        if sol is None:
+            thermal = self._spec.npu.thermal
+            sol = batched_const_solutions(
+                self._compiled,
+                freq_mhz,
+                self._scales,
+                thermal.celsius_per_watt,
+                thermal.time_constant_us,
+            )
+            self._solutions[freq_mhz] = sol
+        return sol
+
+    def duration_table(self) -> np.ndarray:
+        """Per-board durations over the full grid, ``(capacity, F)``.
+
+        Bitwise identical to probing every device at every grid point
+        through the engine (the reclaim pass depends on this: plans
+        computed from the table match the looped reference byte for
+        byte).
+        """
+        freqs = self._spec.npu.frequencies.points
+        table = np.empty((self._spec.capacity, len(freqs)))
+        for j, freq in enumerate(freqs):
+            cached = self._solutions.get(float(freq))
+            if cached is not None:
+                table[:, j] = cached.duration_us
+            else:
+                table[:, j] = batched_const_durations(
+                    self._compiled, float(freq), self._scales
+                )
+        return table
+
+    def reset(self) -> None:
+        """Back to the initial membership and thermal state."""
+        self._active[:] = False
+        self._active[: self._spec.n_devices] = True
+        self._next_spare = self._spec.n_devices
+        self._celsius = self._ambient.copy()
+        self._events.clear()
+        self._overrun_total = 0
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+
+    def advance_churn(self, step: int) -> tuple[FleetEvent, ...]:
+        """Apply the seeded churn draw for ``step``; returns its events.
+
+        Joins activate pre-provisioned spares in id order (fresh boards
+        start at their own ambient); leaves and fails deactivate seeded
+        victims, never dropping below ``min_active``.  Rack assignment
+        is implicit — active ids in order, chunked by rack size — so
+        re-sharding after any event is deterministic.
+        """
+        config = self._spec.churn
+        draw = draw_churn(config, self._spec.seed, step)
+        events = list(self._apply_draw(step, draw))
+        self._events.extend(events)
+        return tuple(events)
+
+    def _apply_draw(self, step: int, draw: ChurnDraw):
+        config = self._spec.churn
+        for _ in range(draw.joins):
+            if self._next_spare < self._spec.capacity:
+                device = self._next_spare
+                self._next_spare += 1
+                self._active[device] = True
+                self._celsius[device] = self._ambient[device]
+                yield FleetEvent(
+                    step, "join", device, "spare board activated"
+                )
+            else:
+                yield FleetEvent(
+                    step,
+                    "join_exhausted",
+                    -1,
+                    f"all {config.max_joins} spares already active",
+                )
+        kinds = ("leave",) * draw.leaves + ("fail",) * draw.fails
+        for kind, raw in zip(kinds, draw.victim_raws):
+            ids = np.flatnonzero(self._active)
+            if ids.size <= config.min_active:
+                yield FleetEvent(
+                    step,
+                    "churn_skipped",
+                    -1,
+                    f"{kind} blocked by min_active={config.min_active}",
+                )
+                continue
+            victim = int(ids[raw % ids.size])
+            self._active[victim] = False
+            detail = (
+                "drained for maintenance"
+                if kind == "leave"
+                else "hard failure"
+            )
+            yield FleetEvent(step, kind, victim, detail)
+
+    # ------------------------------------------------------------------
+    # The vectorized barrier step
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        plan: FleetPlan | None = None,
+        target_compute_us: float | None = None,
+        events: tuple[FleetEvent, ...] = (),
+    ) -> FleetStepResult:
+        """Execute one synchronous training step over the active fleet.
+
+        Args:
+            plan: per-device constant-frequency assignment (``None``
+                runs the uniform maximum-frequency baseline; devices
+                the plan does not cover also run the baseline).
+            target_compute_us: the arrival target the plan was built
+                for; arrivals later than the tolerance are counted as
+                barrier overruns.
+            events: churn events to attach to the result (bookkeeping
+                only; :meth:`run_steps` passes the step's own events).
+        """
+        act = self.active_ids
+        n = act.size
+        max_freq = float(self._spec.npu.max_frequency_mhz)
+        if plan is None:
+            freqs = np.full(n, max_freq)
+        else:
+            freqs = np.where(
+                plan.covered[act], plan.freq_mhz[act], max_freq
+            )
+
+        arrival = np.empty(n)
+        e0a = np.empty(n)
+        e1a = np.empty(n)
+        e0s = np.empty(n)
+        e1s = np.empty(n)
+        end_a = np.empty(n)
+        end_b = np.empty(n)
+        idle_a0 = np.empty(n)
+        idle_ga = np.empty(n)
+        idle_s0 = np.empty(n)
+        idle_gs = np.empty(n)
+        for freq in np.unique(freqs):
+            mask = freqs == freq
+            rows = act[mask]
+            sol = self.solution(float(freq))
+            arrival[mask] = sol.duration_us[rows]
+            e0a[mask] = sol.e0_aicore_j[rows]
+            e1a[mask] = sol.e1_aicore_j[rows]
+            e0s[mask] = sol.e0_soc_j[rows]
+            e1s[mask] = sol.e1_soc_j[rows]
+            end_a[mask] = sol.end_a[rows]
+            end_b[mask] = sol.end_b[rows]
+            idle_a0[mask] = sol.idle_aicore_w0
+            idle_ga[mask] = sol.idle_aicore_gain
+            idle_s0[mask] = sol.idle_soc_w0
+            idle_gs[mask] = sol.idle_soc_gain
+
+        ambient = self._ambient[act]
+        delta0 = self._celsius[act] - ambient
+        aicore_j = e0a + e1a * delta0
+        soc_j = e0s + e1s * delta0
+        celsius = ambient + (end_a + end_b * delta0)
+
+        compute_us = float(arrival.max())
+        straggler_id = int(act[int(np.argmax(arrival))])
+        collective = self.collective_cost()
+        wait = compute_us - arrival
+
+        # Barrier-wait idle integration: the cluster device's 8-substep
+        # constant-power discretisation, vectorized across the fleet.
+        idle_total = wait + collective.chosen_us
+        sub = idle_total / IDLE_INTEGRATION_STEPS
+        k = self._spec.npu.thermal.celsius_per_watt
+        tau = self._spec.npu.thermal.time_constant_us
+        decay = np.exp(-sub / tau)
+        idle_aicore = np.zeros(n)
+        idle_soc = np.zeros(n)
+        for _ in range(IDLE_INTEGRATION_STEPS):
+            delta = celsius - ambient
+            aw = idle_a0 + idle_ga * delta
+            sw = idle_s0 + idle_gs * delta
+            idle_aicore += aw * sub / US_PER_S
+            idle_soc += sw * sub / US_PER_S
+            target = ambient + k * sw
+            celsius = target + (celsius - target) * decay
+        self._celsius[act] = celsius
+
+        overrun_count = 0
+        offenders: tuple[int, ...] = ()
+        if target_compute_us is not None:
+            lateness = (arrival - target_compute_us) / target_compute_us
+            late = lateness > BARRIER_OVERRUN_TOLERANCE
+            overrun_count = int(np.count_nonzero(late))
+            if overrun_count:
+                late_ids = act[late]
+                order = np.argsort(-lateness[late], kind="stable")
+                offenders = tuple(
+                    int(late_ids[pos]) for pos in order[:DEFAULT_TOP_K]
+                )
+                self._overrun_total += overrun_count
+
+        return FleetStepResult(
+            fleet_name=self._spec.name,
+            workload=self._trace.name,
+            compute_us=compute_us,
+            collective=collective,
+            straggler_id=straggler_id,
+            device_ids=act,
+            arrival_us=arrival,
+            wait_us=wait,
+            freq_mhz=freqs,
+            aicore_energy_j=aicore_j,
+            soc_energy_j=soc_j,
+            idle_aicore_energy_j=idle_aicore,
+            idle_soc_energy_j=idle_soc,
+            end_celsius=celsius,
+            overrun_count=overrun_count,
+            overrun_device_ids=offenders,
+            events=events,
+        )
+
+    def run_steps(
+        self,
+        plan: FleetPlan | None = None,
+        steps: int = 3,
+        target_compute_us: float | None = None,
+        replan: Callable[["FleetSimulator"], FleetPlan] | None = None,
+    ) -> list[FleetStepResult]:
+        """Run consecutive steps, thermal state carried, churn applied.
+
+        Churn events fire *between* steps (step 0 always runs the
+        initial membership).  When ``replan`` is provided, any step
+        whose churn changed the membership re-targets: the callback
+        builds a fresh plan on the current fleet (see
+        :func:`repro.fleet.dvfs.reclaim_fleet_slack`) and the barrier
+        target follows it.
+        """
+        if steps < 1:
+            raise ConfigurationError(f"steps must be >= 1: {steps}")
+        results: list[FleetStepResult] = []
+        for index in range(steps):
+            events: tuple[FleetEvent, ...] = ()
+            if index > 0:
+                events = self.advance_churn(index)
+                changed = any(
+                    e.kind in ("join", "leave", "fail") for e in events
+                )
+                if changed and replan is not None:
+                    plan = replan(self)
+                    target_compute_us = plan.target_compute_us
+            results.append(
+                self.step(plan, target_compute_us, events=events)
+            )
+        return results
+
+
+def straggler_summary(
+    results: Sequence[FleetStepResult],
+) -> dict[str, float | int]:
+    """Aggregate step/energy/overrun metrics over a run of steps."""
+    if not results:
+        raise ConfigurationError("straggler_summary needs at least one step")
+    return {
+        "steps": len(results),
+        "devices_last": results[-1].n_devices,
+        "step_ms_mean": float(
+            np.mean([r.step_us for r in results]) / 1000.0
+        ),
+        "fleet_soc_j_total": float(
+            np.sum([r.fleet_soc_energy_j for r in results])
+        ),
+        "fleet_aicore_j_total": float(
+            np.sum([r.fleet_aicore_energy_j for r in results])
+        ),
+        "overruns": int(sum(r.overrun_count for r in results)),
+        "churn_events": int(sum(len(r.events) for r in results)),
+    }

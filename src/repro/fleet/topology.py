@@ -1,0 +1,142 @@
+"""Hierarchical fleet topology and collective cost model.
+
+One rack's devices sit on the fast intra-rack ring (HCCS-class links);
+racks talk over a slower inter-rack fabric.  A fleet-wide gradient
+all-reduce then runs as the standard hierarchical schedule real training
+fleets (and NCCL's tree algorithms) use:
+
+1. **intra-rack ring all-reduce** — every rack reduces its own replicas
+   with the exact ring law of
+   :class:`repro.cluster.collective.InterconnectSpec`, leaving each rack
+   holding the rack-local sum;
+2. **inter-rack tree all-reduce** — one representative per rack
+   exchanges the rack sums over the inter-rack links in a binomial
+   tree: ``ceil(log2(R))`` reduce hops up plus the same number of
+   broadcast hops down.
+
+Racks run their ring phases concurrently, so phase 1 costs one ring
+all-reduce of the *largest* rack.  The tree moves the full payload per
+hop divided across the ``min_rack_size`` concurrently-transmitting
+links of each rack boundary.
+
+Like a real collectives library, :meth:`FleetTopology.allreduce_us`
+performs *algorithm selection*: it prices both the hierarchical
+schedule and a flat ring laid over the inter-rack-grade links spanning
+every device, and returns the cheaper one.  That makes the public cost
+never slower than the flat ring by construction, and for a single rack
+it degenerates bitwise to the intra-rack ring law — the two properties
+``tests/test_fleet.py`` checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.collective import InterconnectSpec
+from repro.errors import ConfigurationError
+from repro.units import gbps_to_bytes_per_us
+
+
+def default_inter_rack_links() -> InterconnectSpec:
+    """Inter-rack fabric: a quarter the bandwidth, twice the latency."""
+    return InterconnectSpec(link_bandwidth_gbps=12.5, link_latency_us=25.0)
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Priced alternatives for one fleet-wide all-reduce."""
+
+    #: Intra-rack ring phase + inter-rack tree phase.
+    hierarchical_us: float
+    #: One flat ring over inter-rack-grade links spanning all devices.
+    flat_ring_us: float
+
+    @property
+    def chosen_us(self) -> float:
+        """The selected algorithm's cost (the cheaper of the two)."""
+        return min(self.hierarchical_us, self.flat_ring_us)
+
+    @property
+    def algorithm(self) -> str:
+        """Which schedule the selection picked."""
+        return (
+            "hierarchical"
+            if self.hierarchical_us <= self.flat_ring_us
+            else "flat-ring"
+        )
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """Rack-structured interconnect of a training fleet.
+
+    Attributes:
+        devices_per_rack: ring size of one rack; devices fill racks in
+            id order, so a fleet of ``N`` devices occupies
+            ``ceil(N / devices_per_rack)`` racks.
+        intra: per-link characteristics of the intra-rack ring.
+        inter: per-link characteristics of the inter-rack fabric.
+    """
+
+    devices_per_rack: int = 16
+    intra: InterconnectSpec = field(default_factory=InterconnectSpec)
+    inter: InterconnectSpec = field(default_factory=default_inter_rack_links)
+
+    def __post_init__(self) -> None:
+        if self.devices_per_rack < 1:
+            raise ConfigurationError(
+                f"devices_per_rack must be >= 1: {self.devices_per_rack}"
+            )
+
+    def rack_sizes(self, n_devices: int) -> tuple[int, ...]:
+        """Rack occupancy for ``n_devices`` filled in id order."""
+        if n_devices < 0:
+            raise ConfigurationError(
+                f"n_devices must be non-negative: {n_devices}"
+            )
+        full, rest = divmod(n_devices, self.devices_per_rack)
+        return (self.devices_per_rack,) * full + ((rest,) if rest else ())
+
+    def breakdown(
+        self, payload_bytes: float, rack_sizes: Sequence[int]
+    ) -> CollectiveCost:
+        """Price both collective schedules for one gradient exchange.
+
+        ``rack_sizes`` is the live occupancy per rack (elastic churn
+        leaves partially-filled racks); empty racks are ignored.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError(
+                f"payload_bytes must be non-negative: {payload_bytes}"
+            )
+        sizes = [int(s) for s in rack_sizes if s > 0]
+        n = sum(sizes)
+        if n <= 1:
+            return CollectiveCost(hierarchical_us=0.0, flat_ring_us=0.0)
+        if len(sizes) == 1:
+            # Single rack: exactly the ring law, no tree phase — the
+            # degenerate case the property test pins down bitwise.
+            ring = self.intra.allreduce_us(payload_bytes, n)
+            return CollectiveCost(hierarchical_us=ring, flat_ring_us=ring)
+        intra_us = self.intra.allreduce_us(payload_bytes, max(sizes))
+        hops = math.ceil(math.log2(len(sizes)))
+        # Each tree hop moves the full rack-sum payload across a rack
+        # boundary, striped over the concurrently-transmitting links of
+        # the smallest participating rack.
+        shard = payload_bytes / min(sizes)
+        per_hop = shard / gbps_to_bytes_per_us(
+            self.inter.link_bandwidth_gbps
+        ) + self.inter.link_latency_us
+        hierarchical = intra_us + 2 * hops * per_hop
+        flat = self.inter.allreduce_us(payload_bytes, n)
+        return CollectiveCost(
+            hierarchical_us=hierarchical, flat_ring_us=flat
+        )
+
+    def allreduce_us(
+        self, payload_bytes: float, rack_sizes: Sequence[int]
+    ) -> float:
+        """Selected all-reduce cost (cheaper of hierarchical and ring)."""
+        return self.breakdown(payload_bytes, rack_sizes).chosen_us

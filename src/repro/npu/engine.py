@@ -470,6 +470,223 @@ class _ConstSolution:
         self.e1_soc = float(np.dot(self.cgs * self.th_b, per_dt))
 
 
+#: Cell budget (rows x chunk columns) of one block of the batched
+#: constant-frequency build; keeps peak temporaries around tens of MB
+#: even for 10k-device fleets on long traces.
+_BATCH_CELL_BUDGET = 1_000_000
+
+
+@dataclass(frozen=True)
+class ConstAffineBatch:
+    """Per-device affine reductions of one constant-frequency run.
+
+    The fleet-facing form of :class:`_ConstSolution`: every array is
+    indexed by device, where devices differ only by an operator-duration
+    scale (silicon speed binning) and, downstream, by their initial
+    temperature rise ``delta0``.  For device ``i``::
+
+        duration  = duration_us[i]                       (exact)
+        E_aicore  = e0_aicore_j[i] + e1_aicore_j[i] * delta0
+        E_soc     = e0_soc_j[i]    + e1_soc_j[i]    * delta0
+        rise'     = end_a[i]       + end_b[i]       * delta0
+
+    Durations are bitwise identical to the per-device engine path (the
+    same scale multiply and the same per-row ``cumsum`` geometry);
+    energies and the final rise agree to rounding (~1e-15 relative)
+    because only the summation association differs.  The idle-power
+    coefficients are frequency-only (device-independent), probed the
+    same way as :class:`_FreqColumn`.
+    """
+
+    freq_mhz: float
+    duration_us: np.ndarray
+    e0_aicore_j: np.ndarray
+    e1_aicore_j: np.ndarray
+    e0_soc_j: np.ndarray
+    e1_soc_j: np.ndarray
+    end_a: np.ndarray
+    end_b: np.ndarray
+    idle_aicore_w0: float
+    idle_aicore_gain: float
+    idle_soc_w0: float
+    idle_soc_gain: float
+
+    @property
+    def n_devices(self) -> int:
+        """How many device rows the batch covers."""
+        return self.duration_us.size
+
+
+def _batched_block(
+    compiled: "CompiledTrace",
+    col: _FreqColumn,
+    scales: np.ndarray,
+    k: float,
+    tau: float,
+) -> tuple[np.ndarray, ...]:
+    """One block of the batched constant-frequency reduction.
+
+    Lays every device row out as the rectangular chunk interleave
+    ``[idle_0, op_0, idle_1, op_1, ...]``: rows without a wait before
+    operator ``i`` simply get a zero-length idle chunk there, which is
+    an exact identity of both the affine thermal scan (``a = 1``,
+    ``b = 0``) and the energy sum (``dt = 0``), so the rectangular
+    layout reproduces the per-device compressed layout bit for bit.
+    """
+    n = compiled.n_ops
+    d = col.dur[None, :] * scales[:, None]
+    rows = scales.size
+    prev_d = np.concatenate([np.zeros((rows, 1)), d[:, :-1]], axis=1)
+    start = np.cumsum(
+        np.maximum(prev_d + compiled.gap[None, :], compiled.host[None, :]),
+        axis=1,
+    )
+    end = start + d
+    duration = end[:, -1].copy()
+    prev_end = np.concatenate([np.zeros((rows, 1)), end[:, :-1]], axis=1)
+    idle_dt = start - prev_end
+
+    cdt = np.empty((rows, 2 * n))
+    cdt[:, 0::2] = idle_dt
+    cdt[:, 1::2] = d
+    ca0 = np.empty(2 * n)
+    cga = np.empty(2 * n)
+    cs0 = np.empty(2 * n)
+    cgs = np.empty(2 * n)
+    ca0[0::2] = col.idle_a0
+    cga[0::2] = col.idle_ga
+    cs0[0::2] = col.idle_s0
+    cgs[0::2] = col.idle_gs
+    ca0[1::2] = col.a0
+    cga[1::2] = col.ga
+    cs0[1::2] = col.s0
+    cgs[1::2] = col.gs
+
+    e = np.exp(-cdt / tau)
+    one_m = 1.0 - e
+    a = e + (k * cgs[None, :]) * one_m
+    b = (k * cs0[None, :]) * one_m
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        c = np.cumprod(a, axis=1)
+        tail = c[:, -1]
+        bad = (
+            ~np.isfinite(tail)
+            | (tail <= _SCAN_UNDERFLOW)
+            | (np.min(a, axis=1) <= 0.0)
+        )
+        acc = np.cumsum(b / c, axis=1)
+    th_b = np.concatenate([np.ones((rows, 1)), c[:, :-1]], axis=1)
+    th_a = th_b * np.concatenate([np.zeros((rows, 1)), acc[:, :-1]], axis=1)
+    end_a = tail * acc[:, -1]
+    end_b = tail.copy()
+    for i in np.flatnonzero(bad):
+        # Pathological decay on this row: same sequential fallback as
+        # the per-device path (see _affine_parts).
+        th_a[i], th_b[i], end_a[i], end_b[i] = _affine_parts(
+            cdt[i], cs0, cgs, k, tau
+        )
+
+    per_dt = cdt / US_PER_S
+    e0_aicore = ((ca0[None, :] + cga[None, :] * th_a) * per_dt).sum(axis=1)
+    e1_aicore = ((cga[None, :] * th_b) * per_dt).sum(axis=1)
+    e0_soc = ((cs0[None, :] + cgs[None, :] * th_a) * per_dt).sum(axis=1)
+    e1_soc = ((cgs[None, :] * th_b) * per_dt).sum(axis=1)
+    return duration, e0_aicore, e1_aicore, e0_soc, e1_soc, end_a, end_b
+
+
+def batched_const_durations(
+    compiled: "CompiledTrace",
+    freq_mhz: float,
+    duration_scales: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Per-device constant-frequency durations, one row per scale.
+
+    Bitwise identical to running each device through the engine: the
+    per-device path multiplies each operator's duration by the device's
+    scale and the chunk geometry is a per-row ``cumsum``, both of which
+    the 2D broadcast reproduces element for element.
+    """
+    scales = np.ascontiguousarray(duration_scales, dtype=float)
+    if compiled.n_ops == 0:
+        return np.zeros(scales.size)
+    col = compiled.column(freq_mhz)
+    out = np.empty(scales.size)
+    block = max(1, _BATCH_CELL_BUDGET // max(1, compiled.n_ops))
+    for lo in range(0, scales.size, block):
+        s = scales[lo : lo + block, None]
+        d = col.dur[None, :] * s
+        prev_d = np.concatenate([np.zeros((s.size, 1)), d[:, :-1]], axis=1)
+        start = np.cumsum(
+            np.maximum(
+                prev_d + compiled.gap[None, :], compiled.host[None, :]
+            ),
+            axis=1,
+        )
+        out[lo : lo + block] = start[:, -1] + d[:, -1]
+    return out
+
+
+def batched_const_solutions(
+    compiled: "CompiledTrace",
+    freq_mhz: float,
+    duration_scales: Sequence[float] | np.ndarray,
+    k: float,
+    tau: float,
+) -> ConstAffineBatch:
+    """Stack every device's constant-frequency affine solution.
+
+    The fleet analogue of :meth:`CompiledTrace.const_solution`: one call
+    reduces a whole device population (each with its own operator-
+    duration scale) to ``(devices,)`` arrays of affine scalars, built in
+    blocks of ~:data:`_BATCH_CELL_BUDGET` cells so peak memory stays
+    bounded at any fleet size.  ``k``/``tau`` are the shared RC thermal
+    constants; per-board ambients do not enter (the recurrence lives in
+    temperature-rise space), so one batch serves boards in warm and cool
+    rack positions alike.
+    """
+    scales = np.ascontiguousarray(duration_scales, dtype=float)
+    rows = scales.size
+    col = compiled.column(freq_mhz)
+    if compiled.n_ops == 0:
+        zero = np.zeros(rows)
+        return ConstAffineBatch(
+            freq_mhz=col.freq_mhz,
+            duration_us=zero,
+            e0_aicore_j=zero.copy(),
+            e1_aicore_j=zero.copy(),
+            e0_soc_j=zero.copy(),
+            e1_soc_j=zero.copy(),
+            end_a=zero.copy(),
+            end_b=np.ones(rows),
+            idle_aicore_w0=col.idle_a0,
+            idle_aicore_gain=col.idle_ga,
+            idle_soc_w0=col.idle_s0,
+            idle_soc_gain=col.idle_gs,
+        )
+    parts = [np.empty(rows) for _ in range(7)]
+    block = max(1, _BATCH_CELL_BUDGET // (2 * compiled.n_ops))
+    for lo in range(0, rows, block):
+        chunk = _batched_block(
+            compiled, col, scales[lo : lo + block], k, tau
+        )
+        for dest, src in zip(parts, chunk):
+            dest[lo : lo + src.size] = src
+    return ConstAffineBatch(
+        freq_mhz=col.freq_mhz,
+        duration_us=parts[0],
+        e0_aicore_j=parts[1],
+        e1_aicore_j=parts[2],
+        e0_soc_j=parts[3],
+        e1_soc_j=parts[4],
+        end_a=parts[5],
+        end_b=parts[6],
+        idle_aicore_w0=col.idle_a0,
+        idle_aicore_gain=col.idle_ga,
+        idle_soc_w0=col.idle_s0,
+        idle_soc_gain=col.idle_gs,
+    )
+
+
 def _chunk_geometry(
     compiled: "CompiledTrace",
     d: np.ndarray,
