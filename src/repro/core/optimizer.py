@@ -22,11 +22,18 @@ from repro.analysis.rng import RngFactory
 from repro.batching import batched_cold_path_enabled
 from repro.core.config import OptimizerConfig
 from repro.core.report import MeasuredMetrics, OptimizationReport
-from repro.dvfs.classification import classify_operators
+from repro.dvfs.classification import (
+    classify_operators,
+    frequency_sensitive_mask,
+)
 from repro.dvfs.executor import DvfsExecutor
 from repro.dvfs.ga import GaResult, run_search
 from repro.dvfs.guard import GuardedDvfsExecutor
-from repro.dvfs.preprocessing import PreprocessResult, preprocess
+from repro.dvfs.preprocessing import (
+    PreprocessResult,
+    preprocess,
+    preprocess_arrays,
+)
 from repro.dvfs.scoring import StrategyScorer
 from repro.dvfs.strategy import DvfsStrategy, strategy_from_genes
 from repro.npu.device import NpuDevice
@@ -51,25 +58,59 @@ from repro.power.calibration import CalibrationConstants, run_offline_calibratio
 from repro.power.optable import (
     OperatorPowerTable,
     build_operator_power_table,
+    build_operator_power_table_arrays,
     build_operator_power_table_batched,
 )
 from repro.workloads.generators import micro
 from repro.workloads.trace import Trace
 
 
-@dataclass(frozen=True)
 class ProfilingBundle:
     """Everything collected while profiling one workload.
 
     ``grid`` carries the batched per-operator duration matrix when the
     one-pass cold path produced the bundle; the scalar sweep leaves it
     ``None`` and model fitting falls back to walking the reports.
+
+    ``reports`` and ``baseline_report`` accept concrete values or
+    zero-argument callables.  The batched cold path passes callables so
+    the per-operator :class:`ProfileReport` objects only materialise when
+    something actually reads them — model fitting consumes the stacked
+    ``grid`` arrays and staging consumes ``grid.baseline`` instead, so a
+    healthy cold run never pays for report objects at all.  Access is
+    transparent either way (the thunk result is cached).
     """
 
-    reports: tuple[ProfileReport, ...]
-    power_readings: dict[float, dict[str, tuple[float, float]]]
-    baseline_report: ProfileReport
-    grid: GridProfileData | None = None
+    def __init__(
+        self,
+        reports,
+        power_readings,
+        baseline_report,
+        grid: GridProfileData | None = None,
+        power_arrays=None,
+    ) -> None:
+        self._reports = reports
+        self.power_readings = power_readings
+        self._baseline_report = baseline_report
+        self.grid = grid
+        #: Per-frequency ``(aicore, soc)`` reading arrays aligned with
+        #: ``grid.names`` — lets the power-table builder skip the
+        #: per-name dict round trip (grid-profiled bundles only).
+        self.power_arrays = power_arrays
+
+    @property
+    def reports(self) -> tuple[ProfileReport, ...]:
+        """Reports at the model-fitting frequencies (materialised lazily)."""
+        if callable(self._reports):
+            self._reports = self._reports()
+        return self._reports
+
+    @property
+    def baseline_report(self) -> ProfileReport:
+        """The max-frequency baseline report (materialised lazily)."""
+        if callable(self._baseline_report):
+            self._baseline_report = self._baseline_report()
+        return self._baseline_report
 
 
 @dataclass(frozen=True)
@@ -205,19 +246,21 @@ class EnergyOptimizer:
                 self._profiler.rng,
                 self._telemetry.rng,
             )
-            reports = []
-            baseline_report: ProfileReport | None = None
-            for freq, report in grid_result.reports:
-                if freq in self._config.profile_freqs_mhz:
-                    reports.append(report)
-                if freq == baseline_freq:
-                    baseline_report = report
-            assert baseline_report is not None
+            profile_freqs = self._config.profile_freqs_mhz
+            sweep = grid_result.sweep
+            fit_sweep = tuple(f for f in sweep if f in profile_freqs)
+            baseline_sweep = [f for f in sweep if f == baseline_freq]
+            assert baseline_sweep
             return ProfilingBundle(
-                reports=tuple(reports),
+                reports=lambda: tuple(
+                    grid_result.report_for(f) for f in fit_sweep
+                ),
                 power_readings=grid_result.power_readings,
-                baseline_report=baseline_report,
+                baseline_report=lambda: grid_result.report_for(
+                    baseline_sweep[0]
+                ),
                 grid=grid_result.data,
+                power_arrays=grid_result.power_arrays,
             )
         reports = []
         power_readings: dict[float, dict[str, tuple[float, float]]] = {}
@@ -273,7 +316,11 @@ class EnergyOptimizer:
                 performance = patch_missing_operators(
                     performance, bundle.baseline_report
                 )
-        if batched:
+        if batched and bundle.power_arrays:
+            power = build_operator_power_table_arrays(
+                bundle.grid.names, bundle.power_arrays, self.calibrate()
+            )
+        elif batched:
             power = build_operator_power_table_batched(
                 bundle.power_readings, self.calibrate()
             )
@@ -284,7 +331,26 @@ class EnergyOptimizer:
         return ModelBundle(performance=performance, power=power)
 
     def preprocess(self, bundle: ProfilingBundle) -> PreprocessResult:
-        """Step 3a: classification and LFC/HFC candidate construction."""
+        """Step 3a: classification and LFC/HFC candidate construction.
+
+        With the batched cold path on and a grid-profiled bundle, the
+        Table 1 sensitivity mask and the staging loop run straight off
+        the baseline pass's columnar arrays — same floats, same order,
+        bit-identical stages — without materialising report objects.
+        """
+        base = bundle.grid.baseline if bundle.grid is not None else None
+        if base is not None and batched_cold_path_enabled():
+            sensitive = frequency_sensitive_mask(
+                base.is_compute, base.present, base.ratios
+            )
+            return preprocess_arrays(
+                range(base.start_us.shape[0]),
+                base.start_us.tolist(),
+                base.duration_us.tolist(),
+                base.gap_before_us.tolist(),
+                sensitive.tolist(),
+                adjustment_interval_us=self._config.adjustment_interval_us,
+            )
         classified = classify_operators(bundle.baseline_report.operators)
         return preprocess(
             classified,
@@ -308,7 +374,13 @@ class EnergyOptimizer:
             performance_loss_target=self._config.performance_loss_target,
             objective=self._config.objective,
         )
-        result = run_search(scorer, candidates.stages, freqs, self._config.ga)
+        result = run_search(
+            scorer,
+            candidates.stages,
+            freqs,
+            self._config.ga,
+            surrogate=self._config.surrogate,
+        )
         strategy = strategy_from_genes(
             workload=trace.name,
             stages=candidates.stages,

@@ -25,6 +25,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.npu.operators import OperatorKind
 from repro.npu.pipelines import Pipe, is_core_pipe
 from repro.npu.profiler import ProfiledOperator
@@ -122,6 +124,44 @@ def classify_operators(
 ) -> list[ClassifiedOperator]:
     """Classify a full profiled sequence, preserving order."""
     return [classify_operator(op, latency_threshold) for op in operators]
+
+
+def frequency_sensitive_mask(
+    is_compute: np.ndarray,
+    present: np.ndarray,
+    ratios: np.ndarray,
+    latency_threshold: float = LATENCY_BOUND_THRESHOLD,
+    no_pipeline_threshold: float = NO_PIPELINE_THRESHOLD,
+) -> np.ndarray:
+    """Vectorised Table 1 sensitivity over a whole operator sequence.
+
+    ``present``/``ratios`` are ``(n, 6)`` in the slot order of
+    :data:`repro.npu.vectoreval.SLOT_PIPES` (MTE2, cube, vector, scalar,
+    MTE1, MTE3) — the order :meth:`ProfiledOperator.ratio_sum` iterates,
+    so the masked sequential accumulation below adds the same floats in
+    the same order as the scalar decision flow.  ``argmax`` on the masked
+    ratios keeps the first maximum, matching Python's ``max`` over the
+    insertion-ordered ratio dict; slots 1-4 are the core-domain pipes.
+
+    Returns the boolean mask of frequency-sensitive operators — exactly
+    ``[classify_operator(op).frequency_sensitive for op in ops]``.
+    """
+    n = ratios.shape[0]
+    ratio_sum = np.zeros(n)
+    for slot in range(6):
+        ratio_sum = np.where(
+            present[:, slot], ratio_sum + ratios[:, slot], ratio_sum
+        )
+    masked = np.where(present, ratios, -np.inf)
+    arg = masked.argmax(axis=1)
+    max_ratio = np.take_along_axis(masked, arg[:, None], axis=1)[:, 0]
+    core_bound = (arg >= 1) & (arg <= 4)
+    sensitive = (max_ratio < latency_threshold) | core_bound
+    return (
+        np.asarray(is_compute, dtype=bool)
+        & ~(ratio_sum < no_pipeline_threshold)
+        & sensitive
+    )
 
 
 def bottleneck_histogram(

@@ -112,32 +112,32 @@ class _MutableStage:
         return self.end_us - self.start_us
 
 
-def _raw_stages(
-    classified: Sequence[ClassifiedOperator],
+def _raw_stages_from_rows(
+    rows,
     significant_gap_us: float,
 ) -> list[_MutableStage]:
-    """Steps 1-3: split the classified sequence into LFC/HFC runs.
+    """Steps 1-3 core over ``(index, start, duration, gap, sensitive)`` rows.
 
     Stage boundaries come from the profiled start/end timestamps, so small
     inter-operator gaps stay inside the surrounding stage while significant
-    gaps become (or extend) LFC idle spans.
+    gaps become (or extend) LFC idle spans.  Both the object path and the
+    array path feed this loop the same Python floats in the same order, so
+    the stages are bit-identical either way.
     """
     stages: list[_MutableStage] = []
-    for op in classified:
-        profiled = op.profiled
-        sensitive = op.frequency_sensitive
+    for index, start_us, duration_us, gap_before_us, sensitive in rows:
         kind = StageKind.HFC if sensitive else StageKind.LFC
-        op_end = profiled.start_us + profiled.duration_us
+        op_end = start_us + duration_us
         # Step 1: a significant dispatch gap counts as idle (LFC) time.
-        if profiled.gap_before_us >= significant_gap_us:
+        if gap_before_us >= significant_gap_us:
             if stages and stages[-1].kind is StageKind.LFC:
-                stages[-1].end_us = profiled.start_us
+                stages[-1].end_us = start_us
             else:
                 stages.append(
                     _MutableStage(
                         kind=StageKind.LFC,
                         start_us=stages[-1].end_us if stages else 0.0,
-                        end_us=profiled.start_us,
+                        end_us=start_us,
                         op_indices=[],
                         sensitive_time_us=0.0,
                     )
@@ -145,19 +145,39 @@ def _raw_stages(
         if stages and stages[-1].kind is kind:
             stage = stages[-1]
             stage.end_us = op_end
-            stage.op_indices.append(profiled.index)
-            stage.sensitive_time_us += profiled.duration_us if sensitive else 0.0
+            stage.op_indices.append(index)
+            stage.sensitive_time_us += duration_us if sensitive else 0.0
         else:
             stages.append(
                 _MutableStage(
                     kind=kind,
                     start_us=stages[-1].end_us if stages else 0.0,
                     end_us=op_end,
-                    op_indices=[profiled.index],
-                    sensitive_time_us=profiled.duration_us if sensitive else 0.0,
+                    op_indices=[index],
+                    sensitive_time_us=duration_us if sensitive else 0.0,
                 )
             )
     return stages
+
+
+def _raw_stages(
+    classified: Sequence[ClassifiedOperator],
+    significant_gap_us: float,
+) -> list[_MutableStage]:
+    """Steps 1-3: split the classified sequence into LFC/HFC runs."""
+    return _raw_stages_from_rows(
+        (
+            (
+                op.profiled.index,
+                op.profiled.start_us,
+                op.profiled.duration_us,
+                op.profiled.gap_before_us,
+                op.frequency_sensitive,
+            )
+            for op in classified
+        ),
+        significant_gap_us,
+    )
 
 
 def _coalesce_same_kind(stages: list[_MutableStage]) -> list[_MutableStage]:
@@ -248,6 +268,48 @@ def preprocess(
             f"adjustment interval must be positive: {adjustment_interval_us}"
         )
     raw = _raw_stages(classified, significant_gap_us)
+    return _finish(raw, adjustment_interval_us)
+
+
+def preprocess_arrays(
+    indices: Sequence[int],
+    start_us: Sequence[float],
+    duration_us: Sequence[float],
+    gap_before_us: Sequence[float],
+    sensitive: Sequence[bool],
+    adjustment_interval_us: float = DEFAULT_ADJUSTMENT_INTERVAL_US,
+    significant_gap_us: float = SIGNIFICANT_GAP_US,
+) -> PreprocessResult:
+    """Array-input equivalent of :func:`preprocess`.
+
+    Takes per-operator columns (trace index, baseline start/duration,
+    dispatch gap, Table 1 sensitivity) instead of
+    :class:`ClassifiedOperator` objects, feeding the same staging loop the
+    same floats — bit-identical output without materialising thousands of
+    classified-operator objects first.  Callers pass ``.tolist()`` values
+    (or any sequences); sensitivity typically comes from
+    :func:`repro.dvfs.classification.frequency_sensitive_mask`.
+
+    Raises:
+        StrategyError: on an empty sequence or non-positive interval.
+    """
+    if not len(indices):
+        raise StrategyError("cannot preprocess an empty operator sequence")
+    if adjustment_interval_us <= 0:
+        raise StrategyError(
+            f"adjustment interval must be positive: {adjustment_interval_us}"
+        )
+    raw = _raw_stages_from_rows(
+        zip(indices, start_us, duration_us, gap_before_us, sensitive),
+        significant_gap_us,
+    )
+    return _finish(raw, adjustment_interval_us)
+
+
+def _finish(
+    raw: list[_MutableStage], adjustment_interval_us: float
+) -> PreprocessResult:
+    """Step 4 plus freezing, shared by both preprocess entry points."""
     raw_count = len(raw)
     merged = _merge_short_stages(raw, adjustment_interval_us)
     stages = tuple(

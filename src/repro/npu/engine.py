@@ -70,6 +70,16 @@ _SCAN_UNDERFLOW = 1e-250
 #: Compiled traces cached per engine before dead weak references are pruned.
 _COMPILED_CACHE_LIMIT = 64
 
+#: Process-wide compiled-trace cache, shared across engines whose specs
+#: are value-identical.  Serving creates a fresh optimizer (device +
+#: engine) per cache-missed request, yet lowering a trace is a pure
+#: function of (trace, spec): sharing the result across instances removes
+#: recompilation — and the unique-grid evaluation cached on it — from the
+#: cold path.  Keyed by ``(id(trace), repr(spec))`` with a weakref guard
+#: against id reuse; ``repr`` covers every spec field recursively, so
+#: equal keys imply equal lowering output bit for bit.
+_SHARED_COMPILED: dict[tuple[int, str], tuple] = {}
+
 _FAST_PATH_ENABLED = True
 
 
@@ -245,6 +255,7 @@ class CompiledTrace:
         self._uniq_idx = uniq_idx
         self._columns: dict[float, _FreqColumn] = {}
         self._const_solutions: dict[float, "_ConstSolution"] = {}
+        self._grids: dict[tuple[float, ...], object] = {}
 
     @property
     def trace(self) -> "Trace":
@@ -283,9 +294,16 @@ class CompiledTrace:
         Returns a :class:`repro.npu.vectoreval.UniqueSpecGrid` and installs
         any missing per-frequency columns from it (bit-identical to the
         scalar :meth:`column` build, which stays as the reference path).
+        Grids are cached per frequency tuple — the evaluation is a pure
+        function of (specs, grid), and repeated cold passes over the same
+        sweep (the serving miss path) ask for the same grid every time.
         """
         from repro.npu.vectoreval import evaluate_unique_grid
 
+        grid_key = tuple(float(f) for f in freqs_mhz)
+        cached = self._grids.get(grid_key)
+        if cached is not None:
+            return cached
         grid = evaluate_unique_grid(self._evaluator, self._uniq_specs, freqs_mhz)
         idx = self._uniq_idx
         for j, freq in enumerate(grid.freqs_mhz):
@@ -303,6 +321,7 @@ class CompiledTrace:
                 idle_s0=float(grid.idle_s0[j]),
                 idle_gs=float(grid.idle_gs[j]),
             )
+        self._grids[grid_key] = grid
         return grid
 
     def prime_columns(self, freqs_mhz: Sequence[float]) -> None:
@@ -823,6 +842,7 @@ class TraceEngine:
         self._npu = npu
         self._evaluator = evaluator
         self._compiled: dict[int, tuple[weakref.ref, CompiledTrace]] = {}
+        self._spec_repr: str | None = None
         self.stats = EngineStats()
 
     @property
@@ -875,7 +895,14 @@ class TraceEngine:
         return self._run_scan(compiled, timeline, celsius0)
 
     def compiled(self, trace: "Trace") -> CompiledTrace:
-        """The (cached) lowering of ``trace`` against this device."""
+        """The (cached) lowering of ``trace`` against this device.
+
+        Misses consult the process-wide cache before compiling: another
+        engine with a value-identical spec may already have lowered this
+        trace, and lowering is pure, so adopting its result (evaluator
+        included) changes nothing downstream.  ``stats.compiled_traces``
+        counts this engine's cache misses either way.
+        """
         key = id(trace)
         cached = self._compiled.get(key)
         if cached is not None:
@@ -890,10 +917,57 @@ class TraceEngine:
             }
             while len(self._compiled) >= _COMPILED_CACHE_LIMIT:
                 self._compiled.pop(next(iter(self._compiled)))
+        spec_key = self._spec_key()
+        shared_key = (key, spec_key) if spec_key is not None else None
+        if shared_key is not None:
+            shared = _SHARED_COMPILED.get(shared_key)
+            if shared is not None:
+                ref, compiled = shared
+                if ref() is trace:
+                    self.stats.compiled_traces += 1
+                    self._compiled[key] = (ref, compiled)
+                    return compiled
         compiled = CompiledTrace(trace, self._evaluator)
         self.stats.compiled_traces += 1
         self._compiled[key] = (weakref.ref(trace), compiled)
+        if shared_key is not None:
+            if len(_SHARED_COMPILED) >= _COMPILED_CACHE_LIMIT:
+                stale = [
+                    k
+                    for k, (ref, _) in _SHARED_COMPILED.items()
+                    if ref() is None
+                ]
+                for k in stale:
+                    del _SHARED_COMPILED[k]
+                while len(_SHARED_COMPILED) >= _COMPILED_CACHE_LIMIT:
+                    _SHARED_COMPILED.pop(next(iter(_SHARED_COMPILED)))
+            _SHARED_COMPILED[shared_key] = self._compiled[key]
         return compiled
+
+    def _spec_key(self) -> str | None:
+        """Value key of this engine for the process-wide compiled cache.
+
+        ``None`` (never share) unless the evaluator is a plain
+        :class:`GroundTruthEvaluator` — wrapped evaluators (e.g. the
+        cluster's per-device duration scaling) change the lowering
+        output, and their state is not captured by any value key.  The
+        key covers both the engine spec (thermal constants baked into
+        cached const solutions) and the evaluator spec (which columns
+        and grids are computed from) so equal keys imply bit-identical
+        compiled output.
+        """
+        spec_key = self._spec_repr
+        if spec_key is None:
+            from repro.npu.execution import GroundTruthEvaluator
+
+            if type(self._evaluator) is not GroundTruthEvaluator:
+                spec_key = ""
+            else:
+                spec_key = (
+                    repr(self._npu) + "\x00" + repr(self._evaluator.npu)
+                )
+            self._spec_repr = spec_key
+        return spec_key or None
 
     # ------------------------------------------------------------------
     # Operator-level vectorised paths

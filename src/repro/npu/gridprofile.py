@@ -32,7 +32,7 @@ keeps downstream ``GaResult.best_genes`` byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -53,12 +53,34 @@ _STABLE_TOL_CELSIUS = 0.3
 
 
 @dataclass(frozen=True)
+class BaselineOpArrays:
+    """Columnar view of the baseline-frequency profile pass.
+
+    Array-path preprocessing (classification + LFC/HFC staging) consumes
+    these instead of walking :class:`ProfiledOperator` objects.  ``present``
+    and ``ratios`` are ``(n, 6)`` in :data:`SLOT_PIPES` slot order with
+    exact zeros for absent pipes — the same floats the per-op ratio dicts
+    would hold, in the same iteration order.
+    """
+
+    freq_mhz: float
+    start_us: np.ndarray
+    duration_us: np.ndarray
+    gap_before_us: np.ndarray
+    is_compute: np.ndarray
+    present: np.ndarray
+    ratios: np.ndarray
+
+
+@dataclass(frozen=True)
 class GridProfileData:
     """Batched per-operator profiling data for downstream model fitting.
 
     ``durations`` holds the *noisy* measured durations, one row per trace
     operator and one column per frequency in ``freqs_mhz`` (ascending) —
     the same numbers as ``reports[f].operators[i].duration_us``.
+    ``baseline`` carries the baseline pass as columnar arrays so the
+    staging pipeline can skip report materialisation entirely.
     """
 
     trace_name: str
@@ -68,6 +90,7 @@ class GridProfileData:
     op_types: tuple[str, ...]
     freqs_mhz: tuple[float, ...]
     durations: np.ndarray
+    baseline: BaselineOpArrays | None = None
 
     @property
     def name_count(self) -> int:
@@ -75,18 +98,222 @@ class GridProfileData:
         return len(self.names)
 
 
-@dataclass(frozen=True)
+class _LazyReports:
+    """Per-frequency raw profile arrays, materialised into reports on demand.
+
+    Building :class:`ProfiledOperator` objects is the single most
+    expensive part of a grid pass, yet the batched cold path never reads
+    them — model fitting uses the stacked duration matrix and staging
+    uses :class:`BaselineOpArrays`.  The builder therefore stores each
+    pass's raw arrays and only runs the object loop when a report is
+    actually requested; materialisation uses the exact loop (and the
+    exact ``.tolist()`` floats) the eager path used, so the reports
+    compare equal bit for bit whenever someone does look.
+    """
+
+    def __init__(
+        self,
+        trace_name: str,
+        names: list[str],
+        op_types: list[str],
+        kinds: list,
+        pres_ops: np.ndarray,
+        u_starts: np.ndarray,
+    ) -> None:
+        self._trace_name = trace_name
+        self._names = names
+        self._op_types = op_types
+        self._kinds = kinds
+        self._pres_ops = pres_ops
+        self._base_l = u_starts.tolist()
+        self._raw: dict[float, tuple] = {}
+        self._cache: dict[float, ProfileReport] = {}
+        self._pipe_lists: list[tuple] | None = None
+
+    @property
+    def sweep(self) -> tuple[float, ...]:
+        """The swept frequencies, in insertion (ascending) order."""
+        return tuple(self._raw)
+
+    def add_pass(
+        self,
+        freq: float,
+        start: np.ndarray,
+        noisy_dur: np.ndarray,
+        gaps: np.ndarray,
+        ratios_flat: np.ndarray,
+        total_duration_us: float,
+    ) -> None:
+        """Record one frequency pass's raw arrays."""
+        self._raw[freq] = (start, noisy_dur, gaps, ratios_flat, total_duration_us)
+
+    def _pipes(self) -> list[tuple]:
+        # Presence patterns repeat heavily across operators, so intern the
+        # per-op pipe tuples by their 6-bit presence code (lazily — only
+        # report materialisation needs them).
+        if self._pipe_lists is None:
+            pres_ops = self._pres_ops
+            codes = (pres_ops @ (1 << np.arange(6))).tolist()
+            pres_l = pres_ops.tolist()
+            pipe_cache: dict[int, tuple] = {}
+            pipe_lists = []
+            for i, code in enumerate(codes):
+                tup = pipe_cache.get(code)
+                if tup is None:
+                    row = pres_l[i]
+                    tup = tuple(SLOT_PIPES[s] for s in range(6) if row[s])
+                    pipe_cache[code] = tup
+                pipe_lists.append(tup)
+            self._pipe_lists = pipe_lists
+        return self._pipe_lists
+
+    def report_for(self, freq: float) -> ProfileReport:
+        """The full :class:`ProfileReport` of one swept frequency."""
+        report = self._cache.get(freq)
+        if report is not None:
+            return report
+        try:
+            start, noisy_dur, gaps, ratios_flat, total = self._raw[freq]
+        except KeyError:
+            raise ProfilingError(
+                f"frequency {freq} MHz was not in the profiling sweep"
+            ) from None
+        names = self._names
+        op_types = self._op_types
+        kinds = self._kinds
+        pipe_lists = self._pipes()
+        start_l = start.tolist()
+        dur_l = noisy_dur.tolist()
+        gap_l = gaps.tolist()
+        ratio_l = ratios_flat.tolist()
+        base_l = self._base_l
+        # Frozen-dataclass __init__ pays object.__setattr__ per field,
+        # which dominates this hot loop; installing the instance dict
+        # directly produces identical (==, hash, pickle) objects.
+        new_op = ProfiledOperator.__new__
+        set_dict = object.__setattr__
+        operators = []
+        for i in range(len(names)):
+            pipes = pipe_lists[i]
+            lo = base_l[i]
+            op = new_op(ProfiledOperator)
+            set_dict(
+                op,
+                "__dict__",
+                {
+                    "index": i,
+                    "name": names[i],
+                    "op_type": op_types[i],
+                    "kind": kinds[i],
+                    "start_us": start_l[i],
+                    "duration_us": dur_l[i],
+                    "gap_before_us": gap_l[i],
+                    "freq_mhz": freq,
+                    "ratios": dict(zip(pipes, ratio_l[lo:lo + len(pipes)])),
+                    "straddled_switch": False,
+                },
+            )
+            operators.append(op)
+        report = ProfileReport(
+            trace_name=self._trace_name,
+            freq_label_mhz=freq,
+            operators=tuple(operators),
+            total_duration_us=total,
+        )
+        self._cache[freq] = report
+        return report
+
+
+class _LazyPowerReadings(Mapping):
+    """Per-frequency power readings, materialised as dicts on demand.
+
+    The batched power-table builder consumes the underlying arrays
+    directly (``GridProfileResult.power_arrays``); the per-name dict view
+    exists for the sequential-sweep API and is only packed when someone
+    actually indexes it.  Keys, order and values match the eager dicts.
+    """
+
+    __slots__ = ("_names", "_arrays", "_dicts")
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        arrays: dict[float, tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        self._names = names
+        self._arrays = arrays
+        self._dicts: dict[float, dict[str, tuple[float, float]]] = {}
+
+    def __getitem__(self, freq: float) -> dict[str, tuple[float, float]]:
+        built = self._dicts.get(freq)
+        if built is None:
+            read_a, read_s = self._arrays[freq]
+            read_a_l = read_a.tolist()
+            read_s_l = read_s.tolist()
+            built = {
+                name: (read_a_l[t], read_s_l[t])
+                for t, name in enumerate(self._names)
+            }
+            self._dicts[freq] = built
+        return built
+
+    def __iter__(self):
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __contains__(self, freq: object) -> bool:
+        return freq in self._arrays
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mappings are mutable-equality containers
+
+
 class GridProfileResult:
     """Everything one cold-path profiling pass produces.
 
     ``reports`` covers every swept frequency (ascending); telemetry
     readings exist only for the model-fitting frequencies, exactly like
-    the sequential sweep.
+    the sequential sweep.  Reports materialise lazily (and are cached) —
+    the batched pipeline reads the stacked ``data`` arrays instead, so a
+    cold run that never inspects a report never pays for its objects.
     """
 
-    reports: tuple[tuple[float, ProfileReport], ...]
-    power_readings: dict[float, dict[str, tuple[float, float]]]
-    data: GridProfileData
+    def __init__(
+        self,
+        power_readings: "Mapping[float, dict[str, tuple[float, float]]]",
+        data: GridProfileData,
+        builder: _LazyReports,
+        power_arrays: dict[float, tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> None:
+        self.power_readings = power_readings
+        self.data = data
+        self._builder = builder
+        #: Per-fit-frequency ``(aicore, soc)`` reading arrays aligned with
+        #: ``data.names`` — the power-table builder's zero-copy input.
+        self.power_arrays = power_arrays
+
+    @property
+    def sweep(self) -> tuple[float, ...]:
+        """The swept frequencies, ascending."""
+        return self._builder.sweep
+
+    @property
+    def reports(self) -> tuple[tuple[float, ProfileReport], ...]:
+        """``(freq, report)`` pairs for the full sweep (materialises all)."""
+        return tuple(
+            (freq, self._builder.report_for(freq))
+            for freq in self._builder.sweep
+        )
+
+    def report_for(self, freq: float) -> ProfileReport:
+        """One swept frequency's report (materialised on first request)."""
+        return self._builder.report_for(freq)
 
 
 def profile_cold_grid(
@@ -149,19 +376,14 @@ def profile_cold_grid(
     pres_ops = grid.present[idx]  # (n, 6) bool, frequency-independent
     k_per_op = pres_ops.sum(axis=1).astype(np.intp)
     u_starts = np.concatenate(([0], np.cumsum(k_per_op)))
-    # Presence patterns repeat heavily across operators, so intern the
-    # per-op pipe tuples by their 6-bit presence code.
-    codes = (pres_ops @ (1 << np.arange(6))).tolist()
-    pres_l = pres_ops.tolist()
-    pipe_cache: dict[int, tuple] = {}
-    pipe_lists = []
-    for i, code in enumerate(codes):
-        tup = pipe_cache.get(code)
-        if tup is None:
-            row = pres_l[i]
-            tup = tuple(SLOT_PIPES[s] for s in range(6) if row[s])
-            pipe_cache[code] = tup
-        pipe_lists.append(tup)
+    builder = _LazyReports(
+        trace_name=trace.name,
+        names=names,
+        op_types=op_types,
+        kinds=kinds,
+        pres_ops=pres_ops,
+        u_starts=u_starts,
+    )
 
     # Flat per-pass noise-sigma layout: per record, one duration draw (iff
     # duration_sigma > 0) then one draw per present pipe (iff
@@ -191,8 +413,9 @@ def profile_cold_grid(
     k_cpw = thermal.celsius_per_watt
     tau = thermal.time_constant_us
 
-    reports: list[tuple[float, ProfileReport]] = []
-    power_readings: dict[float, dict[str, tuple[float, float]]] = {}
+    baseline_valid = validate(float(baseline_freq_mhz))
+    baseline_arrays: BaselineOpArrays | None = None
+    power_arrays: dict[float, tuple[np.ndarray, np.ndarray]] = {}
     fit_cols: list[np.ndarray] = []
     fit_freqs: list[float] = []
     for freq in sweep:
@@ -235,51 +458,31 @@ def profile_cold_grid(
             noisy_util = util_flat
         ratios_flat = np.minimum(1.0, np.maximum(0.0, noisy_util))
 
-        start_l = sol.start.tolist()
-        dur_l = noisy_dur.tolist()
-        gap_l = gaps.tolist()
-        ratio_l = ratios_flat.tolist()
-        base_l = u_starts.tolist()
-        # Frozen-dataclass __init__ pays object.__setattr__ per field,
-        # which dominates this hot loop; installing the instance dict
-        # directly produces identical (==, hash, pickle) objects.
-        new_op = ProfiledOperator.__new__
-        set_dict = object.__setattr__
-        operators = []
-        for i in range(n):
-            pipes = pipe_lists[i]
-            lo = base_l[i]
-            op = new_op(ProfiledOperator)
-            set_dict(
-                op,
-                "__dict__",
-                {
-                    "index": i,
-                    "name": names[i],
-                    "op_type": op_types[i],
-                    "kind": kinds[i],
-                    "start_us": start_l[i],
-                    "duration_us": dur_l[i],
-                    "gap_before_us": gap_l[i],
-                    "freq_mhz": freq,
-                    "ratios": dict(zip(pipes, ratio_l[lo:lo + len(pipes)])),
-                    "straddled_switch": False,
-                },
-            )
-            operators.append(op)
-        report = ProfileReport(
-            trace_name=trace.name,
-            freq_label_mhz=freq,
-            operators=tuple(operators),
-            total_duration_us=sol.duration,
+        builder.add_pass(
+            freq, sol.start, noisy_dur, gaps, ratios_flat, sol.duration
         )
-        reports.append((freq, report))
+        if freq == baseline_valid:
+            ratios2d = np.zeros((n, 6))
+            ratios2d[pres_ops] = ratios_flat
+            baseline_arrays = BaselineOpArrays(
+                freq_mhz=freq,
+                start_us=sol.start,
+                duration_us=noisy_dur,
+                gap_before_us=gaps,
+                is_compute=np.fromiter(
+                    (kind is OperatorKind.COMPUTE for kind in kinds),
+                    dtype=bool,
+                    count=n,
+                ),
+                present=pres_ops,
+                ratios=ratios2d,
+            )
 
         if freq in profile_set:
             fit_cols.append(noisy_dur)
             fit_freqs.append(freq)
-            power_readings[freq] = _measure_grid_power(
-                sol, delta0, name_ids, uniq_names, psig, telemetry_rng
+            power_arrays[freq] = _measure_grid_power(
+                sol, delta0, name_ids, len(uniq_names), psig, telemetry_rng
             )
 
     data = GridProfileData(
@@ -290,11 +493,13 @@ def profile_cold_grid(
         op_types=op_types_by_name,
         freqs_mhz=tuple(fit_freqs),
         durations=np.column_stack(fit_cols),
+        baseline=baseline_arrays,
     )
     return GridProfileResult(
-        reports=tuple(reports),
-        power_readings=power_readings,
+        power_readings=_LazyPowerReadings(uniq_names, power_arrays),
         data=data,
+        builder=builder,
+        power_arrays=power_arrays,
     )
 
 
@@ -302,22 +507,23 @@ def _measure_grid_power(
     sol,
     delta0: float,
     name_ids: np.ndarray,
-    uniq_names: tuple[str, ...],
+    n_names: int,
     power_sigma: float,
     rng: np.random.Generator,
-) -> dict[str, tuple[float, float]]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-name power readings from a cached constant-frequency solution.
 
     Mirrors :meth:`PowerTelemetry.measure_operator_power`: energy-average
     each name's operator chunks (idle chunks carry no name), then apply
     one multiplicative sensor error per name and rail, aicore before soc.
+    Returns the ``(aicore, soc)`` reading arrays in name-id order; the
+    dict view is :class:`_LazyPowerReadings`'s job.
     """
     pos = sol.pos_op
     dt = sol.cend[pos] - sol.cstart[pos]
     ds = sol.th_a[pos] + sol.th_b[pos] * delta0
     watts_a = sol.ca0[pos] + sol.cga[pos] * ds
     watts_s = sol.cs0[pos] + sol.cgs[pos] * ds
-    n_names = len(uniq_names)
     energy_a = np.bincount(name_ids, weights=watts_a * dt, minlength=n_names)
     energy_s = np.bincount(name_ids, weights=watts_s * dt, minlength=n_names)
     time_us = np.bincount(name_ids, weights=dt, minlength=n_names)
@@ -331,8 +537,4 @@ def _measure_grid_power(
         read_s = raw_s * factors[1::2]
     else:
         read_a, read_s = raw_a, raw_s
-    read_a_l = read_a.tolist()
-    read_s_l = read_s.tolist()
-    return {
-        name: (read_a_l[t], read_s_l[t]) for t, name in enumerate(uniq_names)
-    }
+    return read_a, read_s

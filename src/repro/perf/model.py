@@ -95,6 +95,41 @@ class WorkloadPerformanceModel:
         """
         freqs = np.asarray(list(freqs_mhz), dtype=float)
         matrix = np.empty((len(names), freqs.size), dtype=float)
+        stacked = getattr(self, "_stacked", None)
+        if stacked is not None and batched_cold_path_enabled():
+            # Batch-built model: gather the stacked fit parameters and
+            # constants directly instead of walking per-name objects.  The
+            # elementwise expressions below match the object path exactly.
+            if np.any(freqs <= 0):
+                raise FittingError("frequency must be positive")
+            index, has_fit, constants, params = stacked
+            try:
+                rows = np.fromiter(
+                    map(index.__getitem__, names),
+                    dtype=np.intp,
+                    count=len(names),
+                )
+            except KeyError as exc:
+                raise FittingError(
+                    f"no performance model for operator {exc.args[0]!r}"
+                ) from None
+            fit_mask = has_fit[rows]
+            const_mask = ~fit_mask
+            if const_mask.any():
+                matrix[const_mask] = (
+                    constants[rows[const_mask]][:, None]
+                )
+            if fit_mask.any():
+                p = params[rows[fit_mask]]
+                if self.function is FitFunction.QUADRATIC_NO_LINEAR:
+                    a, c = p[:, :1], p[:, 1:]
+                    matrix[fit_mask] = (a * freqs * freqs + c) / freqs
+                else:
+                    a, b, c = p[:, :1], p[:, 1:2], p[:, 2:]
+                    matrix[fit_mask] = (
+                        (a * freqs * freqs + b * freqs + c) / freqs
+                    )
+            return matrix
         models = []
         for name in names:
             try:
@@ -225,6 +260,102 @@ def build_performance_model(
     )
 
 
+class _LazyOperatorMap(Mapping):
+    """Per-name model mapping that materialises objects on first access.
+
+    The batched cold path predicts through the stacked arrays attached
+    to the workload model (the ``duration_matrix`` fast path) and never
+    reads the per-name :class:`OperatorPerformanceModel` objects, so
+    building thousands of them eagerly is pure constructor overhead.
+    Iteration order, lookups and the materialised objects are identical
+    to the eager dict the scalar builder produces.
+    """
+
+    __slots__ = (
+        "_index",
+        "_names",
+        "_op_types",
+        "_kinds",
+        "_function",
+        "_params",
+        "_has_fit",
+        "_means",
+        "_dict",
+    )
+
+    def __init__(
+        self, *, index, names, op_types, kinds, function, params, has_fit,
+        means,
+    ):
+        self._index = index
+        self._names = names
+        self._op_types = op_types
+        self._kinds = kinds
+        self._function = function
+        self._params = params
+        self._has_fit = has_fit
+        self._means = means
+        self._dict: dict[str, OperatorPerformanceModel] | None = None
+
+    def _materialise(self) -> dict[str, OperatorPerformanceModel]:
+        built = self._dict
+        if built is None:
+            # Bypass dataclass __init__ (and the frozen __setattr__
+            # dance): neither class has a __post_init__, and with
+            # thousands of operators the ordinary constructors dominate.
+            built = {}
+            new_fit = PerformanceFit.__new__
+            new_op = OperatorPerformanceModel.__new__
+            set_dict = object.__setattr__
+            function = self._function
+            params_l = self._params.tolist()
+            has_fit_l = self._has_fit.tolist()
+            means_l = self._means.tolist()
+            for i, name in enumerate(self._names):
+                fit = None
+                if has_fit_l[i]:
+                    fit = new_fit(PerformanceFit)
+                    set_dict(
+                        fit,
+                        "__dict__",
+                        {"function": function, "params": tuple(params_l[i])},
+                    )
+                op = new_op(OperatorPerformanceModel)
+                set_dict(
+                    op,
+                    "__dict__",
+                    {
+                        "name": name,
+                        "op_type": self._op_types[i],
+                        "kind": self._kinds[i],
+                        "fit": fit,
+                        "constant_us": means_l[i],
+                    },
+                )
+                built[name] = op
+            self._dict = built
+        return built
+
+    def __getitem__(self, name: str) -> OperatorPerformanceModel:
+        return self._materialise()[name]
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mappings are mutable-equality containers
+
+
 def build_performance_model_batched(
     data,
     function: FitFunction = FitFunction.QUADRATIC_NO_LINEAR,
@@ -275,27 +406,38 @@ def build_performance_model_batched(
     mean_durations = np.mean(times, axis=1)
 
     params, valid = BATCH_FITTERS[function](chosen, times)
-    params_l = params.tolist()
-    valid_l = valid.tolist()
-    means_l = mean_durations.tolist()
-    operators: dict[str, OperatorPerformanceModel] = {}
-    for i, name in enumerate(data.names):
-        fit = None
-        if data.kinds[i] is OperatorKind.COMPUTE and valid_l[i]:
-            fit = PerformanceFit(function, tuple(params_l[i]))
-        operators[name] = OperatorPerformanceModel(
-            name=name,
-            op_type=data.op_types[i],
-            kind=data.kinds[i],
-            fit=fit,
-            constant_us=means_l[i],
-        )
-    return WorkloadPerformanceModel(
+    index = {name: i for i, name in enumerate(data.names)}
+    compute_mask = np.fromiter(
+        (kind is OperatorKind.COMPUTE for kind in data.kinds),
+        dtype=bool,
+        count=n_names,
+    )
+    has_fit = compute_mask & np.asarray(valid, dtype=bool)
+    operators = _LazyOperatorMap(
+        index=index,
+        names=data.names,
+        op_types=data.op_types,
+        kinds=data.kinds,
+        function=function,
+        params=params,
+        has_fit=has_fit,
+        means=mean_durations,
+    )
+    model = WorkloadPerformanceModel(
         trace_name=data.trace_name,
         function=function,
         fit_freqs_mhz=tuple(chosen),
         operators=operators,
     )
+    # Stacked per-name arrays for the duration_matrix fast path: the fit
+    # parameters and constants already exist as arrays here, so attaching
+    # them is free (the model is frozen — lazy attribute install).
+    object.__setattr__(
+        model,
+        "_stacked",
+        (index, has_fit, mean_durations, params),
+    )
+    return model
 
 
 def _degraded_model(

@@ -108,6 +108,25 @@ class OperatorPowerTable:
             cache[freqs_key] = vectors
         return vectors
 
+    def _stacked_alphas(self) -> tuple[dict[str, int], np.ndarray, np.ndarray]:
+        """Cached ``(name index, aicore alphas, soc alphas)`` arrays.
+
+        Batched construction attaches these for free (the arrays already
+        exist there); tables from the scalar builder materialise them on
+        first use.  Either way the per-name ``entry()`` object walk drops
+        out of the power-matrix hot path.
+        """
+        stacked = getattr(self, "_alpha_stack", None)
+        if stacked is None:
+            index = {name: i for i, name in enumerate(self.entries)}
+            aicore = np.array(
+                [e.alpha_aicore for e in self.entries.values()]
+            )
+            soc = np.array([e.alpha_soc for e in self.entries.values()])
+            stacked = (index, aicore, soc)
+            object.__setattr__(self, "_alpha_stack", stacked)
+        return stacked
+
     def _power_matrix(
         self, names: Sequence[str], freqs_mhz: Sequence[float], soc: bool
     ) -> np.ndarray:
@@ -115,13 +134,81 @@ class OperatorPowerTable:
             tuple(float(f) for f in freqs_mhz)
         )
         idle = idle_soc if soc else idle_aicore
-        alphas = np.array(
-            [
-                self.entry(name).alpha_soc if soc else self.entry(name).alpha_aicore
-                for name in names
-            ]
-        )
+        index, alpha_aicore, alpha_soc = self._stacked_alphas()
+        try:
+            rows = np.fromiter(
+                map(index.__getitem__, names), dtype=np.intp, count=len(names)
+            )
+        except KeyError:
+            for name in names:
+                self.entry(name)
+            raise  # unreachable: entry() raised the CalibrationError
+        alphas = (alpha_soc if soc else alpha_aicore)[rows]
         return alphas[:, None] * fv2[None, :] + idle[None, :]
+
+
+class _LazyEntryMap(Mapping):
+    """Entry mapping that materialises the per-name objects on demand.
+
+    Strategy scoring reads alphas through the stacked arrays attached to
+    the table, never through :class:`OperatorPowerEntry` objects, so the
+    batched builder defers object construction until something actually
+    looks an entry up.  Lookups, order and values match the eager dict.
+    """
+
+    __slots__ = ("_index", "_names", "_aicore", "_soc", "_dict")
+
+    def __init__(self, index, names, aicore, soc):
+        self._index = index
+        self._names = names
+        self._aicore = aicore
+        self._soc = soc
+        self._dict: dict[str, OperatorPowerEntry] | None = None
+
+    def _materialise(self) -> dict[str, OperatorPowerEntry]:
+        built = self._dict
+        if built is None:
+            # Bypass the frozen-dataclass __init__/__setattr__ machinery:
+            # with hundreds of operators the ordinary constructor
+            # dominates table construction (no __post_init__ to skip).
+            built = {}
+            new_entry = OperatorPowerEntry.__new__
+            set_dict = object.__setattr__
+            aicore_l = self._aicore.tolist()
+            soc_l = self._soc.tolist()
+            for i, name in enumerate(self._names):
+                entry = new_entry(OperatorPowerEntry)
+                set_dict(
+                    entry,
+                    "__dict__",
+                    {
+                        "name": name,
+                        "alpha_aicore": aicore_l[i],
+                        "alpha_soc": soc_l[i],
+                    },
+                )
+                built[name] = entry
+            self._dict = built
+        return built
+
+    def __getitem__(self, name: str) -> OperatorPowerEntry:
+        return self._materialise()[name]
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mappings are mutable-equality containers
 
 
 def build_operator_power_table(
@@ -210,14 +297,54 @@ def build_operator_power_table_batched(
         alpha_a, alpha_s = solve_alpha_batch(freq, aicore, soc, constants)
         estimates_a[:, j] = alpha_a
         estimates_s[:, j] = alpha_s
+    return _table_from_estimates(name_list, estimates_a, estimates_s, constants)
+
+
+def build_operator_power_table_arrays(
+    names: Sequence[str],
+    readings_by_freq: Mapping[float, tuple[np.ndarray, np.ndarray]],
+    constants: CalibrationConstants,
+) -> OperatorPowerTable:
+    """Array-input equivalent of :func:`build_operator_power_table_batched`.
+
+    Takes each frequency's readings as ``(aicore_watts, soc_watts)``
+    arrays aligned with ``names`` instead of per-name dicts, skipping the
+    dict pack/unpack round trip entirely.  The alpha solve, averaging and
+    clamping are the same calls on the same values, so the table is
+    bit-identical to the dict-input builder's.
+
+    Raises:
+        CalibrationError: if no readings are given.
+    """
+    if not readings_by_freq:
+        raise CalibrationError("no power readings given")
+    name_list = list(names)
+    n_freqs = len(readings_by_freq)
+    estimates_a = np.empty((len(name_list), n_freqs))
+    estimates_s = np.empty((len(name_list), n_freqs))
+    for j, (freq, (aicore, soc)) in enumerate(readings_by_freq.items()):
+        alpha_a, alpha_s = solve_alpha_batch(
+            freq,
+            np.asarray(aicore, dtype=float),
+            np.asarray(soc, dtype=float),
+            constants,
+        )
+        estimates_a[:, j] = alpha_a
+        estimates_s[:, j] = alpha_s
+    return _table_from_estimates(name_list, estimates_a, estimates_s, constants)
+
+
+def _table_from_estimates(
+    name_list: list[str],
+    estimates_a: np.ndarray,
+    estimates_s: np.ndarray,
+    constants: CalibrationConstants,
+) -> OperatorPowerTable:
+    """Average, clamp and assemble the lazy table (shared builder tail)."""
     alpha_aicore = np.maximum(0.0, np.mean(estimates_a, axis=1))
     alpha_soc = np.maximum(0.0, np.mean(estimates_s, axis=1))
-    aicore_l = alpha_aicore.tolist()
-    soc_l = alpha_soc.tolist()
-    entries = {
-        name: OperatorPowerEntry(
-            name=name, alpha_aicore=aicore_l[i], alpha_soc=soc_l[i]
-        )
-        for i, name in enumerate(name_list)
-    }
-    return OperatorPowerTable(constants=constants, entries=entries)
+    index = {name: i for i, name in enumerate(name_list)}
+    entries = _LazyEntryMap(index, name_list, alpha_aicore, alpha_soc)
+    table = OperatorPowerTable(constants=constants, entries=entries)
+    object.__setattr__(table, "_alpha_stack", (index, alpha_aicore, alpha_soc))
+    return table

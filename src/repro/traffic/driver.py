@@ -143,6 +143,13 @@ class TrafficReport:
     ga_runs: int
     wall_seconds: float
     throughput_rps: float
+    #: Latency distribution of requests that ran their own GA
+    #: (``source == "computed"``) — the cold-miss cost the pipeline
+    #: optimisations target, separated from the cache-hit distribution
+    #: so one doesn't mask the other.
+    miss_latency_us: dict[str, float] = field(default_factory=dict)
+    #: GA misses answered by the surrogate-assisted search.
+    surrogate_runs: int = 0
     store_counters: dict[str, int | str] = field(default_factory=dict)
     byte_identical: bool | None = None
     verified_workloads: int = 0
@@ -159,6 +166,23 @@ class TrafficReport:
             {"metric": "p50_us", "value": f"{self.latency_us['p50']:.1f}"},
             {"metric": "p99_us", "value": f"{self.latency_us['p99']:.1f}"},
             {"metric": "max_us", "value": f"{self.latency_us['max']:.1f}"},
+            {
+                "metric": "hit_p50_us",
+                "value": f"{self.hit_latency_us['p50']:.1f}",
+            },
+            {
+                "metric": "hit_p99_us",
+                "value": f"{self.hit_latency_us['p99']:.1f}",
+            },
+            {
+                "metric": "miss_p50_us",
+                "value": f"{self.miss_latency_us.get('p50', 0.0):.1f}",
+            },
+            {
+                "metric": "miss_p99_us",
+                "value": f"{self.miss_latency_us.get('p99', 0.0):.1f}",
+            },
+            {"metric": "surrogate_runs", "value": self.surrogate_runs},
             {"metric": "queue_depth_max", "value": self.queue_depth_max},
             {"metric": "ga_runs", "value": self.ga_runs},
             {"metric": "wall_seconds", "value": f"{self.wall_seconds:.2f}"},
@@ -188,6 +212,8 @@ class TrafficReport:
             "shed_rate": self.shed_rate,
             "latency_us": dict(self.latency_us),
             "hit_latency_us": dict(self.hit_latency_us),
+            "miss_latency_us": dict(self.miss_latency_us),
+            "surrogate_runs": self.surrogate_runs,
             "queue_depth_max": self.queue_depth_max,
             "queue_depth_mean": self.queue_depth_mean,
             "ga_runs": self.ga_runs,
@@ -223,6 +249,7 @@ async def _drive(
     total = len(schedule)
     latencies = np.zeros(total, dtype=np.float64)
     hit_mask = np.zeros(total, dtype=bool)
+    computed_mask = np.zeros(total, dtype=bool)
     admitted_mask = np.zeros(total, dtype=bool)
     shed_by_reason: dict[str, int] = {}
     failed = 0
@@ -255,6 +282,7 @@ async def _drive(
                 latencies[i] = outcome.latency_seconds
                 admitted_mask[i] = True
                 hit_mask[i] = outcome.source in hit_tiers
+                computed_mask[i] = outcome.source == "computed"
             else:
                 pending.append((i, outcome))
         depth_samples.append(gateway.queue_depth)
@@ -270,10 +298,12 @@ async def _drive(
                 latencies[i] = outcome.latency_seconds
                 admitted_mask[i] = True
                 hit_mask[i] = outcome.source in hit_tiers
+                computed_mask[i] = outcome.source == "computed"
     return {
         "latencies": latencies,
         "admitted_mask": admitted_mask,
         "hit_mask": hit_mask,
+        "computed_mask": computed_mask,
         "shed_by_reason": shed_by_reason,
         "failed": failed,
         "depth_samples": depth_samples,
@@ -333,6 +363,9 @@ def drive_traffic(
     hit_latencies_us = (
         raw["latencies"][admitted_mask & raw["hit_mask"]] * 1e6
     )
+    miss_latencies_us = (
+        raw["latencies"][admitted_mask & raw["computed_mask"]] * 1e6
+    )
     admitted = int(admitted_mask.sum())
     shed = int(sum(raw["shed_by_reason"].values()))
     depth_samples = raw["depth_samples"]
@@ -353,6 +386,8 @@ def drive_traffic(
         shed_rate=stats.shed_rate,
         latency_us=_percentiles(latencies_us),
         hit_latency_us=_percentiles(hit_latencies_us),
+        miss_latency_us=_percentiles(miss_latencies_us),
+        surrogate_runs=stats.surrogate_runs,
         queue_depth_max=gateway.max_queue_depth_seen,
         queue_depth_mean=(
             float(np.mean(depth_samples)) if depth_samples else 0.0
@@ -455,6 +490,7 @@ def run_bench(
                     },
                     "ga_population": optimizer_config.ga.population_size,
                     "ga_iterations": optimizer_config.ga.iterations,
+                    "surrogate": optimizer_config.surrogate.enabled,
                     "python": platform.python_version(),
                     "machine": platform.machine(),
                 },

@@ -189,6 +189,38 @@ class TestOnePassProfiling:
             == reference.baseline_report.operators
         )
 
+    def test_power_array_table_matches_dict_builder(self, pipeline, constants):
+        from repro.power.optable import (
+            build_operator_power_table_arrays,
+            build_operator_power_table_batched,
+        )
+
+        _, _, bundle, _, _ = pipeline
+        assert bundle.power_arrays  # the batched bundle carries the arrays
+        from_arrays = build_operator_power_table_arrays(
+            bundle.grid.names, bundle.power_arrays, constants
+        )
+        from_dicts = build_operator_power_table_batched(
+            bundle.power_readings, constants
+        )
+        assert set(from_arrays.entries) == set(from_dicts.entries)
+        for name, want in from_dicts.entries.items():
+            got = from_arrays.entries[name]
+            assert got.alpha_aicore == want.alpha_aicore
+            assert got.alpha_soc == want.alpha_soc
+
+    def test_lazy_power_readings_behave_like_dicts(self, pipeline):
+        _, _, bundle, _, _ = pipeline
+        readings = bundle.power_readings
+        assert len(readings) == len(bundle.power_arrays)
+        for freq in readings:
+            assert freq in readings
+            per_op = readings[freq]
+            read_a, read_s = bundle.power_arrays[freq]
+            assert list(per_op) == list(bundle.grid.names)
+            for i, name in enumerate(bundle.grid.names):
+                assert per_op[name] == (float(read_a[i]), float(read_s[i]))
+
     def test_grid_durations_match_reports(self, pipeline):
         _, config, bundle, _, _ = pipeline
         grid = bundle.grid
