@@ -18,7 +18,11 @@ vectorized passes.
   equivalence-tested (<= 1e-9) against the looped
   :class:`~repro.cluster.simulator.SimulatedCluster` at small N;
 * :mod:`repro.fleet.dvfs` — array-pass slack reclamation producing
-  byte-identical per-device constant strategies.
+  byte-identical per-device constant strategies;
+* :mod:`repro.fleet.sharded` — the same fleet partitioned into
+  contiguous device shards pinned to persistent worker processes over
+  one shared-memory segment, byte-identical to the single-process
+  engine (``--workers`` on the CLI) and the path to 100k devices.
 
 Run ``python -m repro.fleet run`` for a demo and
 ``python -m repro.fleet bench`` for the scaling benchmark
@@ -32,10 +36,17 @@ from repro.fleet.dvfs import (
     plan_strategy_json,
     reclaim_fleet_slack,
 )
+from repro.fleet.sharded import (
+    ShardedFleetSimulator,
+    make_fleet_simulator,
+    shard_bounds,
+    simulator_workers,
+)
 from repro.fleet.simulator import (
     FleetPlan,
     FleetSimulator,
     FleetStepResult,
+    descending_top_k,
     straggler_summary,
 )
 from repro.fleet.spec import FleetSpec
@@ -50,10 +61,15 @@ __all__ = [
     "FleetSpec",
     "FleetStepResult",
     "FleetTopology",
+    "ShardedFleetSimulator",
     "auto_retarget",
+    "descending_top_k",
     "draw_churn",
+    "make_fleet_simulator",
     "plan_strategies",
     "plan_strategy_json",
     "reclaim_fleet_slack",
+    "shard_bounds",
+    "simulator_workers",
     "straggler_summary",
 ]

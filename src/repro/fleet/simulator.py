@@ -55,6 +55,32 @@ IDLE_INTEGRATION_STEPS = 8
 DEFAULT_TOP_K = 8
 
 
+def descending_top_k(values: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` largest values, sorted descending.
+
+    Exactly the first ``k`` entries of
+    ``np.argsort(-values, kind="stable")`` — ties broken by position,
+    ascending — but O(N) instead of O(N log N): ``np.partition`` finds
+    the k-th largest value, boundary ties are resolved by taking the
+    earliest positions (which is what the stable argsort does), and
+    only the k survivors are sorted.
+    """
+    n = values.size
+    if k >= n:
+        return np.argsort(-values, kind="stable")
+    if k <= 0:
+        return np.zeros(0, dtype=np.intp)
+    # The k-th largest value; at most k-1 entries are strictly larger.
+    cut = np.partition(values, n - k)[n - k]
+    top = np.flatnonzero(values > cut)
+    need = k - top.size
+    if need:
+        # flatnonzero is ascending, so boundary ties keep the earliest
+        # positions — the stable-argsort tie rule.
+        top = np.concatenate([top, np.flatnonzero(values == cut)[:need]])
+    return top[np.argsort(-values[top], kind="stable")]
+
+
 @dataclass(frozen=True)
 class FleetStepResult:
     """Outcome of one synchronous step, in ``(active devices,)`` arrays.
@@ -130,11 +156,12 @@ class FleetStepResult:
 
         Same shape as the cluster report's rows: the ``top_k`` slowest
         arrivals (straggler first), then a single aggregate row for the
-        other ``N - top_k`` devices — O(top_k) rows at any fleet size.
+        other ``N - top_k`` devices — O(top_k) rows at any fleet size,
+        selected in O(N) (:func:`descending_top_k`, not a full sort).
         """
-        order = np.argsort(-self.arrival_us, kind="stable")
+        order = descending_top_k(self.arrival_us, top_k)
         rows = []
-        for pos in order[:top_k]:
+        for pos in order:
             device = int(self.device_ids[pos])
             rows.append(
                 {
@@ -151,7 +178,9 @@ class FleetStepResult:
                     "straggler": "*" if device == self.straggler_id else "",
                 }
             )
-        rest = order[top_k:]
+        in_top = np.zeros(self.arrival_us.size, dtype=bool)
+        in_top[order] = True
+        rest = np.flatnonzero(~in_top)
         if rest.size:
             rows.append(
                 {
@@ -343,7 +372,9 @@ class FleetSimulator:
         self._active[:] = False
         self._active[: self._spec.n_devices] = True
         self._next_spare = self._spec.n_devices
-        self._celsius = self._ambient.copy()
+        # In place, so subclasses backing the thermal state with shared
+        # memory (repro.fleet.sharded) keep their view after a reset.
+        self._celsius[:] = self._ambient
         self._events.clear()
         self._overrun_total = 0
 
@@ -501,10 +532,8 @@ class FleetSimulator:
             overrun_count = int(np.count_nonzero(late))
             if overrun_count:
                 late_ids = act[late]
-                order = np.argsort(-lateness[late], kind="stable")
-                offenders = tuple(
-                    int(late_ids[pos]) for pos in order[:DEFAULT_TOP_K]
-                )
+                order = descending_top_k(lateness[late], DEFAULT_TOP_K)
+                offenders = tuple(int(late_ids[pos]) for pos in order)
                 self._overrun_total += overrun_count
 
         return FleetStepResult(

@@ -30,6 +30,7 @@ from repro.fleet import (
     FleetSpec,
     FleetTopology,
     auto_retarget,
+    descending_top_k,
     draw_churn,
     plan_strategy_json,
     reclaim_fleet_slack,
@@ -431,6 +432,85 @@ class TestReporting:
         assert summary["steps"] == 3
         assert summary["devices_last"] == 8
         assert summary["overruns"] == 0
+
+
+class TestDescendingTopK:
+    """The O(N) top-k selection must match the old full argsort exactly."""
+
+    @staticmethod
+    def reference(values, k):
+        # The path device_rows used before the argpartition rewrite.
+        return np.argsort(-values, kind="stable")[:k]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [0, 1, 3, 8, 50, 200, 500])
+    def test_matches_stable_argsort_prefix(self, seed, k):
+        values = np.random.default_rng(seed).normal(size=200)
+        assert np.array_equal(
+            descending_top_k(values, k), self.reference(values, k)
+        )
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [5.0, 5.0, 5.0, 5.0],
+            [9.0, 8.0, 8.0, 8.0, 7.0],
+            [1.0, 2.0, 2.0, 2.0, 2.0, 3.0],
+            [0.0],
+            [3.0, 3.0],
+        ],
+    )
+    def test_tie_positions_resolve_like_stable_sort(self, values):
+        arr = np.asarray(values)
+        for k in range(len(values) + 2):
+            assert np.array_equal(
+                descending_top_k(arr, k), self.reference(arr, k)
+            )
+
+    @given(
+        st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=1, max_size=40
+        ),
+        st.integers(min_value=0, max_value=45),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_equals_old_path(self, values, k):
+        arr = np.asarray(values, dtype=float)
+        assert np.array_equal(
+            descending_top_k(arr, k), self.reference(arr, k)
+        )
+
+    def test_device_rows_match_the_old_argsort_path(self, tiny_trace):
+        sim = FleetSimulator(FleetSpec(n_devices=64, seed=4), tiny_trace)
+        result = sim.step()
+        for top_k in (1, 8, 32):
+            rows = result.device_rows(top_k)
+            order = self.reference(result.arrival_us, top_k)
+            expected = []
+            for pos in order:
+                device = int(result.device_ids[pos])
+                expected.append(
+                    {
+                        "device": device,
+                        "compute_ms": round(
+                            float(result.arrival_us[pos]) / 1000.0, 3
+                        ),
+                        "wait_ms": round(
+                            float(result.wait_us[pos]) / 1000.0, 3
+                        ),
+                        "idle_mhz": round(float(result.freq_mhz[pos])),
+                        "soc_j": round(
+                            float(result.total_soc_energy_j[pos]), 3
+                        ),
+                        "aicore_j": round(
+                            float(result.total_aicore_energy_j[pos]), 3
+                        ),
+                        "straggler": (
+                            "*" if device == result.straggler_id else ""
+                        ),
+                    }
+                )
+            assert rows[: len(order)] == expected
 
 
 class TestComparisonHarness:
